@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Benchmarks default to quick settings (3 workloads, deep time scaling)
+so the whole suite regenerates every table and figure in minutes.
+Override with environment variables for higher fidelity:
+
+    REPRO_BENCH_WORKLOADS=all REPRO_BENCH_SCALE=64 \
+        pytest benchmarks/ --benchmark-only
+
+``REPRO_BENCH_SCALE=1`` reproduces the paper's full 32 ms windows
+(hours of wall clock in pure Python).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.params import SimScale
+
+BENCH_WORKLOADS = (
+    None if os.environ.get("REPRO_BENCH_WORKLOADS", "") == "all"
+    else [w for w in os.environ.get(
+        "REPRO_BENCH_WORKLOADS", "cc,tc,mcf").split(",") if w])
+"""Workload subset for timed benches (None = the Table IV set)."""
+
+
+def sim_scale() -> SimScale:
+    """Time scale for command-timing simulations (default 512)."""
+    return SimScale(int(os.environ.get("REPRO_BENCH_SCALE", "512")))
+
+
+def counting_scale() -> SimScale:
+    """Time scale for activation-counting measurements (default 32)."""
+    return SimScale(int(os.environ.get("REPRO_BENCH_CGF_SCALE", "32")))
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

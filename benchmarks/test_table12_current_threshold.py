@@ -1,0 +1,23 @@
+"""Bench: regenerate Table XII (overheads at today's TRHD=4.8K)."""
+
+import pytest
+from bench_common import once
+
+from repro.experiments import table12
+
+
+def test_table12_current_threshold(benchmark):
+    rows = once(benchmark, table12.run)
+    by_name = {r.tracker: r for r in rows}
+    for name, paper in table12.PAPER.items():
+        row = by_name[name]
+        assert row.storage_bytes == pytest.approx(paper["storage"],
+                                                  abs=4)
+        assert row.secure == paper["secure"]
+        assert row.cannibalization_pct == pytest.approx(
+            paper["cannibalization"], abs=1.0)
+    # The design point: MIRZA leaves REF time entirely to refresh.
+    assert by_name["MIRZA"].cannibalization_pct == 0.0
+    assert not by_name["TRR"].secure
+    print()
+    table12.main()

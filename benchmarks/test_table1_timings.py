@@ -1,0 +1,14 @@
+"""Bench: regenerate Table I (DRAM timing parameters)."""
+
+from bench_common import once
+
+from repro.experiments import table1
+
+
+def test_table1_timings(benchmark):
+    values = once(benchmark, table1.run)
+    for name, (ddr5, prac) in table1.PAPER_ROWS.items():
+        assert values[name]["ddr5_ns"] == ddr5
+        assert values[name]["prac_ns"] == prac
+    print()
+    table1.main()

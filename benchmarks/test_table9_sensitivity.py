@@ -1,0 +1,26 @@
+"""Bench: regenerate Table IX (FTH vs MINT-W sensitivity)."""
+
+from bench_common import BENCH_WORKLOADS, once, sim_scale
+
+from repro.experiments import table9
+
+
+def test_table9_sensitivity(benchmark):
+    rows = once(benchmark, lambda: table9.run(
+        workloads=BENCH_WORKLOADS, scale=sim_scale(),
+        points=((4, 1820), (12, 1500), (16, 1350))))
+    by_window = {r.mint_window: r for r in rows}
+    # Lower FTH (bigger window) leaves more ACTs unfiltered.
+    assert by_window[16].remaining_acts_pct > \
+        by_window[4].remaining_acts_pct
+    # SRAM stays constant across the sweep (same counter width).
+    assert len({r.sram_bytes for r in rows}) == 1
+    # Every point stays far cheaper than PRAC's 6.5%.
+    assert all(r.slowdown_pct < 4.0 for r in rows)
+    print()
+    for r in rows:
+        print(f"W={r.mint_window} FTH={r.fth}: slowdown "
+              f"{r.slowdown_pct:.2f}% "
+              f"(paper {table9.PAPER_SLOWDOWN[r.mint_window]}%), "
+              f"remaining {r.remaining_acts_pct:.2f}% "
+              f"(paper {table9.PAPER_REMAINING[r.mint_window]}%)")

@@ -1,0 +1,49 @@
+"""Design-space exploration: provision MIRZA across future thresholds.
+
+Run:  python examples/provisioning_sweep.py
+
+Uses the security model of Section VI to derive safe (FTH, MINT-W,
+regions) configurations as the Rowhammer threshold decays from today's
+4.8K to a hypothetical 250, and compares each point's SRAM cost with
+what PRAC and Mithril would need -- the provisioning exercise a DRAM
+vendor adopting MIRZA would run.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MirzaConfig
+from repro.security.area import (
+    AreaModel,
+    mithril_storage_bytes_per_bank,
+)
+from repro.sim.stats import format_table
+
+
+def main() -> None:
+    model = AreaModel()
+    rows = []
+    for trhd in (4800, 2000, 1000, 500, 250):
+        config = MirzaConfig.solve(trhd)
+        ratio = model.prac_to_mirza_ratio(trhd, config.num_regions,
+                                          config.fth)
+        rows.append([
+            trhd,
+            config.fth,
+            config.mint_window,
+            config.num_regions,
+            f"{config.storage_bytes_per_bank:.0f} B",
+            f"{mithril_storage_bytes_per_bank():,.0f} B",
+            f"{ratio:.1f}x",
+            "yes" if config.is_safe() else "NO",
+        ])
+    print(format_table(
+        ["TRHD", "FTH", "MINT-W", "Regions", "MIRZA SRAM/bank",
+         "Mithril SRAM/bank", "PRAC area ratio", "safe"],
+        rows, title="MIRZA provisioning across thresholds"))
+    print("\nEvery configuration is checked against the phase A-D "
+          "safe-TRH bound;\nstorage stays in the low hundreds of "
+          "bytes even at TRHD=250.")
+
+
+if __name__ == "__main__":
+    main()

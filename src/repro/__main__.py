@@ -1,0 +1,46 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro list                 # available exhibits
+    python -m repro table7               # print one exhibit
+    python -m repro fig11 table8         # several exhibits
+    python -m repro report [path]        # run everything -> markdown
+
+Scales and workload subsets are controlled by the REPRO_TIME_SCALE /
+REPRO_CGF_SCALE / REPRO_WORKLOADS environment variables (see
+``repro.experiments``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.report import exhibit_names, run_exhibit, write_report
+
+
+def main(argv=None) -> int:
+    """Dispatch the CLI arguments; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    if argv[0] == "list":
+        for name in exhibit_names():
+            print(name)
+        return 0
+    if argv[0] == "report":
+        path = argv[1] if len(argv) > 1 else "EXPERIMENTS.generated.md"
+        write_report(path)
+        return 0
+    for name in argv:
+        try:
+            print(run_exhibit(name))
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Shared last-level cache model (Table III: 16 MB, 16-way, 64 B lines).
+
+The LLC is used to turn raw access streams into DRAM miss traces when
+calibrating workload generators, and by the cache-focused example; the
+main simulation loop consumes post-LLC miss traces directly.
+"""
+
+from repro.cache.llc import SetAssociativeCache
+
+__all__ = ["SetAssociativeCache"]

@@ -1,0 +1,67 @@
+"""A set-associative LRU cache with miss-stream extraction.
+
+Implements the paper's shared LLC (16 MB, 16-way, 64 B lines) plus the
+bookkeeping needed to report MPKI from a raw access stream.  The model
+is functional (hit/miss), not timed -- LLC latency is folded into the
+core model's compute intervals.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator, List
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over 64 B lines."""
+
+    def __init__(self, capacity_bytes: int = 16 * 1024 * 1024,
+                 ways: int = 16, line_bytes: int = 64) -> None:
+        if capacity_bytes % (ways * line_bytes):
+            raise ValueError("capacity must divide evenly into sets")
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = capacity_bytes // (ways * line_bytes)
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int) -> "tuple[int, int]":
+        line = address // self.line_bytes
+        return line % self.num_sets, line
+
+    def access(self, address: int) -> bool:
+        """Access ``address``; return True on hit (LRU updated)."""
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[tag] = True
+        if len(ways) > self.ways:
+            ways.popitem(last=False)
+        return False
+
+    def miss_stream(self, addresses: Iterable[int]) -> Iterator[int]:
+        """Yield only the addresses that miss (the DRAM-visible stream)."""
+        for address in addresses:
+            if not self.access(address):
+                yield address
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction given an instruction count."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / instructions
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def reset_stats(self) -> None:
+        """Clear hit/miss counters (contents are preserved)."""
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,32 @@
+"""MIRZA: the paper's primary contribution.
+
+MIRZA composes four pieces (Figure 8):
+
+- :mod:`repro.core.rct`     -- the Region Count Table: coarse-grained
+  per-region activation counters with the Filtering Threshold (FTH) and
+  the safe-reset protocol of Appendix B.
+- :mod:`repro.core.mint`    -- the MINT window sampler: uniform random
+  selection of one activation per window of W.
+- :mod:`repro.core.mirza_q` -- the per-bank mitigation queue with
+  tardiness counters and the Queue Tardiness Threshold (QTH).
+- :mod:`repro.core.mirza`   -- the assembled per-bank tracker that raises
+  ALERT-Back-Off reactively.
+
+:mod:`repro.core.config` provisions configurations (Table VII) from a
+target double-sided Rowhammer threshold.
+"""
+
+from repro.core.config import MirzaConfig
+from repro.core.mint import MintSampler
+from repro.core.mirza import MirzaTracker
+from repro.core.mirza_q import MirzaQueue
+from repro.core.rct import RegionCountTable, ResetPolicy
+
+__all__ = [
+    "MintSampler",
+    "MirzaConfig",
+    "MirzaQueue",
+    "MirzaTracker",
+    "RegionCountTable",
+    "ResetPolicy",
+]

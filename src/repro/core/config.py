@@ -1,0 +1,131 @@
+"""MIRZA configuration: provisioning for a target Rowhammer threshold.
+
+:class:`MirzaConfig` bundles every knob of the mechanism.  Two ways to
+get one:
+
+- :meth:`MirzaConfig.paper_config` returns the exact Table VII presets
+  (TRHD 2000/1000/500) used throughout the paper's evaluation;
+- :meth:`MirzaConfig.solve` derives a configuration from first
+  principles using the security model of Section VI, which lands within
+  rounding distance of the presets (the Table VII bench prints both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import AboTimings, DramGeometry
+from repro.security.area import (
+    mirza_storage_bytes_per_bank,
+    rct_counter_bits,
+)
+from repro.security.mint_model import (
+    MINT_FAILURE_EXPONENT,
+    mint_window_for_trhd,
+)
+from repro.security.mirza_model import mirza_safe_trhd, solve_fth
+
+_PAPER_CONFIGS = {
+    2000: dict(fth=3330, mint_window=16, num_regions=64),
+    1000: dict(fth=1500, mint_window=12, num_regions=128),
+    500: dict(fth=660, mint_window=8, num_regions=256),
+}
+"""Table VII: TRHD -> (FTH, MINT-W, Regions/Bank)."""
+
+
+@dataclass(frozen=True)
+class MirzaConfig:
+    """All MIRZA parameters for one bank."""
+
+    trhd: int
+    fth: int
+    mint_window: int
+    num_regions: int
+    queue_entries: int = 4
+    qth: int = 16
+
+    @classmethod
+    def paper_config(cls, trhd: int) -> "MirzaConfig":
+        """The Table VII preset for TRHD in {2000, 1000, 500}."""
+        try:
+            preset = _PAPER_CONFIGS[trhd]
+        except KeyError:
+            raise ValueError(
+                f"no Table VII preset for TRHD={trhd}; use solve()") \
+                from None
+        return cls(trhd=trhd, **preset)
+
+    @classmethod
+    def solve(cls, trhd: int, mint_window: int = None,
+              num_regions: int = None, queue_entries: int = 4,
+              qth: int = 16, abo: AboTimings = AboTimings(),
+              geometry: DramGeometry = DramGeometry(),
+              fail_exponent: float = MINT_FAILURE_EXPONENT
+              ) -> "MirzaConfig":
+        """Derive a safe configuration for ``trhd`` from the model.
+
+        When ``mint_window`` is omitted we follow the paper's heuristic
+        of scaling the window with the threshold (W = 8/12/16 at
+        TRHD 500/1000/2000, i.e. one window step per octave) by picking
+        the largest window whose MINT threshold stays below a third of
+        the target; ``num_regions`` defaults to one region per subarray
+        scaled inversely with the threshold as in Table VII.
+        """
+        if mint_window is None:
+            budget = max(1, trhd // 3)
+            mint_window = max(4, mint_window_for_trhd(budget,
+                                                      fail_exponent))
+        if num_regions is None:
+            base = geometry.subarrays_per_bank
+            if trhd >= 2000:
+                num_regions = base // 2
+            elif trhd >= 1000:
+                num_regions = base
+            else:
+                num_regions = base * 2
+        fth = solve_fth(trhd, mint_window, qth, abo, fail_exponent)
+        return cls(trhd=trhd, fth=fth, mint_window=mint_window,
+                   num_regions=num_regions, queue_entries=queue_entries,
+                   qth=qth)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def safe_trhd(self, abo: AboTimings = AboTimings(),
+                  fail_exponent: float = MINT_FAILURE_EXPONENT) -> int:
+        """Smallest TRHD this configuration provably tolerates."""
+        return mirza_safe_trhd(self.fth, self.mint_window, self.qth, abo,
+                               fail_exponent)
+
+    def is_safe(self, abo: AboTimings = AboTimings(),
+                fail_exponent: float = MINT_FAILURE_EXPONENT) -> bool:
+        """True when the configured TRHD meets the security bound."""
+        return self.trhd >= self.safe_trhd(abo, fail_exponent)
+
+    @property
+    def counter_bits(self) -> int:
+        """Bits per RCT counter."""
+        return rct_counter_bits(self.fth)
+
+    @property
+    def storage_bytes_per_bank(self) -> float:
+        """Total SRAM bytes per bank (Table VII's last column)."""
+        return mirza_storage_bytes_per_bank(self.num_regions, self.fth)
+
+    def region_size(self, geometry: DramGeometry = DramGeometry()) -> int:
+        """Rows per region for this configuration."""
+        return geometry.rows_per_bank // self.num_regions
+
+    def scaled(self, time_scale: int) -> "MirzaConfig":
+        """Configuration for a ``tREFW / time_scale`` observation window.
+
+        FTH is a per-window count, so it scales with the window; all
+        other knobs are window-independent.  ``time_scale = 1`` is the
+        identity.  See :class:`repro.params.SimScale`.
+        """
+        if time_scale == 1:
+            return self
+        return MirzaConfig(
+            trhd=self.trhd, fth=max(1, self.fth // time_scale),
+            mint_window=self.mint_window, num_regions=self.num_regions,
+            queue_entries=self.queue_entries, qth=self.qth)

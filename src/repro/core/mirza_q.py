@@ -1,0 +1,99 @@
+"""MIRZA-Q: the per-bank mitigation queue with tardiness counters.
+
+Rows selected by MINT wait in this queue until an ALERT provides
+mitigation time.  Each entry carries a *tardiness counter*: the number
+of activations the buffered row has received since insertion (entries
+are unique; a repeat activation increments the counter instead of
+inserting a duplicate).  An ALERT must be raised when
+
+- the queue is full (so a new selection would have nowhere to go), or
+- any entry's tardiness exceeds the Queue Tardiness Threshold (QTH),
+  bounding the unmitigated activations a queued row can accrue
+  (Phase C of the security analysis, Section VI-A).
+
+On ALERT the bank mitigates the entry with the **highest** tardiness
+count -- this is what caps the Feinting-style Phase-D accrual at
+``QTH + 2 * acts_between_alerts - 1`` (the ``Q+7`` of Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MirzaQueue:
+    """Bounded set of (row -> tardiness count) pending mitigations."""
+
+    def __init__(self, capacity: int = 4, qth: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if qth < 1:
+            raise ValueError("QTH must be at least 1")
+        self.capacity = capacity
+        self.qth = qth
+        self._entries: Dict[int, int] = {}
+        self.insertions = 0
+        self.dropped_insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, row: int) -> bool:
+        return row in self._entries
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def tardiness(self, row: int) -> int:
+        """Current tardiness count of ``row`` (0 if not queued)."""
+        return self._entries.get(row, 0)
+
+    def on_activate(self, row: int) -> bool:
+        """Bump ``row``'s tardiness if queued; return True if it was."""
+        if row in self._entries:
+            self._entries[row] += 1
+            return True
+        return False
+
+    def insert(self, row: int) -> bool:
+        """Enqueue a MINT-selected row with a count of 1 (Section V-A).
+
+        Returns False (and counts a drop) if the queue is full -- with
+        ``MINT-W >= acts_between_alerts`` this never happens in steady
+        state (Section V-D), and the tests assert as much.
+        """
+        if row in self._entries:
+            self._entries[row] += 1
+            return True
+        if self.full:
+            self.dropped_insertions += 1
+            return False
+        self._entries[row] = 1
+        self.insertions += 1
+        return True
+
+    def wants_alert(self) -> bool:
+        """True when the queue must request mitigation time."""
+        if self.full:
+            return True
+        return any(count > self.qth for count in self._entries.values())
+
+    def pop_max(self) -> Optional[int]:
+        """Remove and return the entry with the highest tardiness."""
+        if not self._entries:
+            return None
+        row = max(self._entries, key=lambda r: (self._entries[r], -r))
+        del self._entries[row]
+        self.evictions += 1
+        return row
+
+    def max_tardiness(self) -> int:
+        """Highest tardiness among queued entries (0 when empty)."""
+        return max(self._entries.values(), default=0)
+
+    def storage_bits(self, row_bits: int = 17) -> int:
+        """Queue storage: row id + tardiness counter + valid, per entry."""
+        count_bits = max(1, (self.qth + 1).bit_length()) + 2
+        return self.capacity * (row_bits + count_bits + 1)

@@ -1,0 +1,15 @@
+"""Simplified multi-core performance model.
+
+The paper's slowdowns are memory-stall driven, so the core model is an
+MLP-limited trace consumer: each core alternates compute intervals with
+DRAM misses, keeps a bounded number of misses outstanding (the ROB's
+memory-level parallelism), and stalls when the oldest miss has not
+returned.  Weighted speedup over a fixed simulated window is the
+performance metric, as in the paper.
+"""
+
+from repro.cpu.core import Core
+from repro.cpu.system import MultiCoreSystem, SimResult
+from repro.cpu.trace import TraceEntry
+
+__all__ = ["Core", "MultiCoreSystem", "SimResult", "TraceEntry"]

@@ -1,0 +1,74 @@
+"""MLP-limited core model.
+
+A core consumes its trace one miss at a time.  Between misses it spends
+the entry's compute time; it may have up to ``mlp`` misses outstanding
+(the memory-level parallelism the ROB can extract), and when the limit
+is reached it stalls until the oldest miss returns.  IPC over a window
+is retired instructions divided by window length.
+
+This is the standard first-order model for memory-bound multi-core
+throughput: it reproduces the sensitivity of IPC to (a) added DRAM
+latency (PRAC's inflated tRP/tRC on row conflicts) and (b) stolen DRAM
+time (REF/RFM/ALERT stalls), which are the only two effects behind the
+paper's slowdown numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional, Tuple
+
+from repro.cpu.trace import TraceEntry
+
+
+class Core:
+    """One trace-driven core."""
+
+    def __init__(self, core_id: int, trace: Iterator[TraceEntry],
+                 mlp: int = 8) -> None:
+        if mlp < 1:
+            raise ValueError("mlp must be >= 1")
+        self.core_id = core_id
+        self.trace = trace
+        self.mlp = mlp
+        self.clock = 0
+        self.retired_instructions = 0
+        self.misses_issued = 0
+        self._outstanding: Deque[int] = deque()
+        self._next: Optional[TraceEntry] = None
+
+    def peek_issue_time(self) -> Optional[int]:
+        """Earliest time the next miss can issue (None when trace ends)."""
+        if self._next is None:
+            self._next = next(self.trace, None)
+            if self._next is None:
+                return None
+        ready = self.clock + self._next.compute_ps
+        if len(self._outstanding) >= self.mlp:
+            ready = max(ready, self._outstanding[0])
+        return ready
+
+    def pop_request(self) -> Tuple[int, TraceEntry]:
+        """Commit to issuing the next miss; returns (issue_time, entry)."""
+        issue = self.peek_issue_time()
+        if issue is None:
+            raise StopIteration("trace exhausted")
+        entry = self._next
+        self._next = None
+        if len(self._outstanding) >= self.mlp:
+            self._outstanding.popleft()
+        self.clock = issue
+        self.retired_instructions += entry.instructions
+        self.misses_issued += 1
+        return issue, entry
+
+    def complete(self, completion_time: int) -> None:
+        """Record the DRAM completion of the just-issued miss."""
+        self._outstanding.append(completion_time)
+
+    def ipc(self, window_ps: int, cycle_ps: float) -> float:
+        """Instructions per cycle over a window of ``window_ps``."""
+        if window_ps <= 0:
+            return 0.0
+        cycles = window_ps / cycle_ps
+        return self.retired_instructions / cycles

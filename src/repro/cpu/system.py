@@ -1,0 +1,173 @@
+"""The assembled simulated system: cores, controllers, devices.
+
+``MultiCoreSystem.run`` drives a fixed simulated window: cores issue
+misses in global time order through the two subchannel controllers, and
+the result captures everything the paper's figures need -- per-core IPC,
+activation counts, ALERT/RFM rates, and mitigation-energy accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.cpu.core import Core
+from repro.cpu.trace import TraceEntry
+from repro.dram.device import DramDevice
+from repro.dram.mapping import RowToSubarrayMapping
+from repro.mc.controller import MemoryController
+from repro.mitigations.base import BankTracker
+from repro.params import SystemConfig
+
+
+@dataclass
+class SimResult:
+    """Everything measured over one simulated window."""
+
+    window_ps: int
+    config: SystemConfig
+    ipc: List[float] = field(default_factory=list)
+    instructions: List[int] = field(default_factory=list)
+    total_requests: int = 0
+    total_activations: int = 0
+    row_hit_rate: float = 0.0
+    alerts: List[int] = field(default_factory=list)
+    rfms: List[int] = field(default_factory=list)
+    bus_utilization: float = 0.0
+    mitigations: int = 0
+    victim_rows_refreshed: int = 0
+    demand_rows_refreshed: int = 0
+    max_unmitigated_acts: int = 0
+
+    def weighted_speedup(self, baseline: "SimResult") -> float:
+        """Sum of per-core IPC ratios against ``baseline`` (Section III)."""
+        pairs = zip(self.ipc, baseline.ipc)
+        return sum(s / b for s, b in pairs if b > 0)
+
+    def normalized_performance(self, baseline: "SimResult") -> float:
+        """Weighted speedup normalised to the core count (1.0 = parity)."""
+        cores = sum(1 for b in baseline.ipc if b > 0)
+        if cores == 0:
+            return 1.0
+        return self.weighted_speedup(baseline) / cores
+
+    def slowdown_pct(self, baseline: "SimResult") -> float:
+        """Percent slowdown vs the unprotected baseline."""
+        return 100.0 * (1.0 - self.normalized_performance(baseline))
+
+    def alerts_per_100_trefi(self) -> float:
+        """ALERTs per 100 x tREFI per subchannel (Figure 11b's metric)."""
+        trefi = self.config.timings.tREFI
+        intervals = self.window_ps / trefi
+        if intervals <= 0 or not self.alerts:
+            return 0.0
+        per_subchannel = sum(self.alerts) / len(self.alerts)
+        return 100.0 * per_subchannel / intervals
+
+    def refresh_power_overhead_pct(self) -> float:
+        """Victim refreshes relative to demand refreshes, in percent."""
+        if self.demand_rows_refreshed == 0:
+            return 0.0
+        return 100.0 * self.victim_rows_refreshed / \
+            self.demand_rows_refreshed
+
+    def acts_per_subarray(self) -> float:
+        """Mean activations per subarray over the window (Figure 6)."""
+        geometry = self.config.geometry
+        total_subarrays = geometry.total_banks \
+            * geometry.subarrays_per_bank
+        return self.total_activations / total_subarrays
+
+
+TraceFactory = Callable[[int], Iterator[TraceEntry]]
+TrackerFactoryForBank = Callable[[int, int], BankTracker]
+MappingFactory = Callable[[], RowToSubarrayMapping]
+
+
+class MultiCoreSystem:
+    """Cores + two subchannel controllers + devices, run over a window."""
+
+    def __init__(self, config: SystemConfig,
+                 trace_factory: TraceFactory,
+                 tracker_factory: Optional[TrackerFactoryForBank] = None,
+                 mapping_factory: Optional[MappingFactory] = None,
+                 rfm_bat: Optional[int] = None,
+                 refs_per_window: Optional[int] = None,
+                 mlp: int = 8,
+                 blast_radius: int = 2,
+                 record_commands: bool = False,
+                 drfm_factory=None) -> None:
+        self.config = config
+        self.devices: List[DramDevice] = []
+        self.mcs: List[MemoryController] = []
+        self.command_logs = []
+        for subch in range(config.geometry.subchannels):
+            mapping = mapping_factory() if mapping_factory else None
+            per_bank = None
+            if tracker_factory is not None:
+                per_bank = (lambda s: lambda bank_id: tracker_factory(
+                    s, bank_id))(subch)
+            device = DramDevice(config, per_bank, mapping,
+                                refs_per_window, blast_radius)
+            self.devices.append(device)
+            log = None
+            if record_commands:
+                from repro.mc.validator import CommandLog
+                log = CommandLog()
+                self.command_logs.append(log)
+            drfm = drfm_factory(subch) if drfm_factory else None
+            self.mcs.append(MemoryController(config, device, rfm_bat,
+                                             command_log=log,
+                                             drfm=drfm))
+        self.cores: List[Core] = [
+            Core(i, trace_factory(i), mlp) for i in range(config.num_cores)]
+
+    def run(self, window_ps: int) -> SimResult:
+        """Simulate ``window_ps`` picoseconds; return the measurements."""
+        heap = []
+        for core in self.cores:
+            t = core.peek_issue_time()
+            if t is not None:
+                heapq.heappush(heap, (t, core.core_id))
+        while heap:
+            issue, core_id = heapq.heappop(heap)
+            if issue >= window_ps:
+                continue
+            core = self.cores[core_id]
+            issue_time, entry = core.pop_request()
+            mc = self.mcs[entry.subchannel % len(self.mcs)]
+            result = mc.serve(entry.bank, entry.row, issue_time)
+            core.complete(result.completion_time)
+            nxt = core.peek_issue_time()
+            if nxt is not None:
+                heapq.heappush(heap, (nxt, core_id))
+        for mc in self.mcs:
+            mc.finish(window_ps)
+        return self._collect(window_ps)
+
+    def _collect(self, window_ps: int) -> SimResult:
+        result = SimResult(window_ps=window_ps, config=self.config)
+        cycle = self.config.core_cycle_ps
+        for core in self.cores:
+            result.ipc.append(core.ipc(window_ps, cycle))
+            result.instructions.append(core.retired_instructions)
+        requests = sum(mc.total_requests for mc in self.mcs)
+        hits = sum(mc.row_hits for mc in self.mcs)
+        result.total_requests = requests
+        result.total_activations = sum(
+            mc.total_activations for mc in self.mcs)
+        result.row_hit_rate = hits / requests if requests else 0.0
+        result.alerts = [mc.alerts for mc in self.mcs]
+        result.rfms = [mc.rfm.rfms_issued for mc in self.mcs]
+        utils = [mc.bus.utilization(window_ps) for mc in self.mcs]
+        result.bus_utilization = sum(utils) / len(utils) if utils else 0.0
+        result.mitigations = sum(
+            d.stats.mitigations_total for d in self.devices)
+        result.victim_rows_refreshed = sum(
+            d.stats.victim_rows_refreshed for d in self.devices)
+        result.demand_rows_refreshed = sum(
+            d.stats.demand_rows_refreshed for d in self.devices)
+        result.max_unmitigated_acts = max(
+            d.max_unmitigated_acts() for d in self.devices)
+        return result

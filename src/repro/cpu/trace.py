@@ -1,0 +1,50 @@
+"""Trace format shared by workload generators and the core model.
+
+A trace is an iterator of :class:`TraceEntry` -- one entry per LLC miss
+(DRAM request).  Entries carry the *compute time* separating this miss
+from the previous one (picoseconds of useful work at full issue rate)
+and the instruction count that work represents, so IPC can be reported
+without simulating individual instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One DRAM request in program order."""
+
+    compute_ps: int
+    """Compute time since the previous miss (ps at full issue width)."""
+
+    instructions: int
+    """Instructions retired between the previous miss and this one."""
+
+    subchannel: int
+    bank: int
+    row: int
+
+
+def cyclic(entries: List[TraceEntry]) -> Iterator[TraceEntry]:
+    """Repeat a finite trace forever (rate-mode windows)."""
+    if not entries:
+        raise ValueError("cannot cycle an empty trace")
+
+    def generate() -> Iterator[TraceEntry]:
+        while True:
+            for entry in entries:
+                yield entry
+    return generate()
+
+
+def take(trace: Iterable[TraceEntry], n: int) -> List[TraceEntry]:
+    """Materialise the first ``n`` entries of a trace."""
+    out: List[TraceEntry] = []
+    for entry in trace:
+        out.append(entry)
+        if len(out) >= n:
+            break
+    return out

@@ -1,0 +1,40 @@
+"""DDR5 DRAM substrate: banks, address/row mappings, refresh, timing.
+
+This package is the simulator's ground-truth model of the DRAM device:
+
+- :mod:`repro.dram.commands` -- the DDR5 command vocabulary.
+- :mod:`repro.dram.mapping`  -- MOP4 physical-address mapping and the
+  Sequential / Strided row-to-subarray mappings of Section IV-D.
+- :mod:`repro.dram.bank`     -- per-bank state plus the per-row activation
+  oracle used to *verify* (not implement) Rowhammer security.
+- :mod:`repro.dram.refresh`  -- the tREFI refresh sweep and RefPtr tracking.
+- :mod:`repro.dram.timing`   -- bank-level DDR5 timing constraint tracking.
+- :mod:`repro.dram.device`   -- the assembled multi-bank device.
+"""
+
+from repro.dram.bank import Bank, RowActivationOracle
+from repro.dram.commands import DramCommand
+from repro.dram.device import DramDevice
+from repro.dram.mapping import (
+    AddressMapping,
+    DecodedAddress,
+    RowToSubarrayMapping,
+    SequentialR2SA,
+    StridedR2SA,
+)
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import BankTiming
+
+__all__ = [
+    "AddressMapping",
+    "Bank",
+    "BankTiming",
+    "DecodedAddress",
+    "DramCommand",
+    "DramDevice",
+    "RefreshScheduler",
+    "RowActivationOracle",
+    "RowToSubarrayMapping",
+    "SequentialR2SA",
+    "StridedR2SA",
+]

@@ -1,0 +1,24 @@
+"""DDR5 command vocabulary used by the memory controller and device."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DramCommand(enum.Enum):
+    """Commands the memory controller can issue to the DRAM device.
+
+    Only the commands that matter for Rowhammer mitigation timing are
+    modelled; data movement (RD/WR) is represented at request granularity.
+    """
+
+    ACT = "activate"
+    PRE = "precharge"
+    RD = "read"
+    WR = "write"
+    REF = "refresh"
+    RFM = "refresh_management"
+    ALERT = "alert_back_off"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DramCommand.{self.name}"

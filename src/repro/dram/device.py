@@ -1,0 +1,198 @@
+"""The assembled DRAM device: one subchannel of banks plus trackers.
+
+A :class:`DramDevice` bundles the banks of one subchannel, their
+per-bank mitigation trackers, and the demand-refresh sweep.  The memory
+controller drives it with ``activate`` / ``do_ref`` / ``rfm`` /
+``service_alert`` calls; the device performs the ground-truth
+bookkeeping (row oracles, victim refreshes) and the mitigation-resource
+accounting that the paper's energy and cannibalisation numbers are built
+from.
+
+ALERT is modelled at device (subchannel) scope, matching the paper's
+"ALERTs per 100xtREFI (per sub-channel)" metric: when *any* bank's
+tracker raises ``wants_alert``, the whole subchannel goes through the
+ABO sequence and **every** bank with pending work mitigates one entry
+(Section IV-A: queues synchronise mitigations across banks so one ALERT
+serves many banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.dram.bank import Bank
+from repro.dram.mapping import RowToSubarrayMapping, SequentialR2SA
+from repro.dram.refresh import RefreshScheduler, RefreshSlice
+from repro.mitigations.base import BankTracker, MitigationSlotSource
+from repro.params import MitigationCosts, SystemConfig
+
+TrackerFactory = Callable[[int], BankTracker]
+
+
+@dataclass
+class DeviceStats:
+    """Mitigation-resource accounting for one subchannel."""
+
+    refs_issued: int = 0
+    rfms_issued: int = 0
+    alerts_serviced: int = 0
+    demand_rows_refreshed: int = 0
+    victim_rows_refreshed: int = 0
+    mitigations_total: int = 0
+    mitigations_by_source: dict = field(default_factory=dict)
+    activations: int = 0
+    row_press_equivalents: int = 0
+
+    def record_mitigation(self, source: MitigationSlotSource,
+                          victims: int) -> None:
+        """Account one mitigation and its victim refreshes."""
+        self.mitigations_total += 1
+        self.victim_rows_refreshed += victims
+        key = source.value
+        self.mitigations_by_source[key] = (
+            self.mitigations_by_source.get(key, 0) + 1)
+
+    def refresh_power_overhead(self) -> float:
+        """Victim refreshes relative to demand refreshes (Section II-F).
+
+        The paper computes refresh power overhead as the ratio of rows
+        undergoing victim refresh to rows undergoing demand refresh.
+        """
+        if self.demand_rows_refreshed == 0:
+            return 0.0
+        return self.victim_rows_refreshed / self.demand_rows_refreshed
+
+    def refresh_cannibalization(self, costs: MitigationCosts,
+                                tRFC: int) -> float:
+        """Fraction of REF time consumed by REF-borrowed mitigations."""
+        if self.refs_issued == 0:
+            return 0.0
+        under_ref = self.mitigations_by_source.get(
+            MitigationSlotSource.REF.value, 0)
+        return (under_ref * costs.mitigation_time) / (
+            self.refs_issued * tRFC)
+
+    def mitigation_rate(self) -> float:
+        """Mitigations per activation (Table VIII's metric)."""
+        if self.activations == 0:
+            return 0.0
+        return self.mitigations_total / self.activations
+
+
+class DramDevice:
+    """One subchannel: banks, trackers, refresh sweep, ALERT arbitration."""
+
+    def __init__(self, config: SystemConfig,
+                 tracker_factory: Optional[TrackerFactory] = None,
+                 mapping: Optional[RowToSubarrayMapping] = None,
+                 refs_per_window: Optional[int] = None,
+                 blast_radius: int = 2) -> None:
+        self.config = config
+        geometry = config.geometry
+        self.mapping = mapping if mapping is not None else SequentialR2SA(
+            geometry)
+        self.blast_radius = blast_radius
+        self.num_banks = geometry.banks_per_subchannel
+        self.banks: List[Bank] = [
+            Bank(i, geometry, self.mapping) for i in range(self.num_banks)]
+        if tracker_factory is None:
+            from repro.mitigations.none import NoMitigation
+            tracker_factory = lambda bank_id: NoMitigation()  # noqa: E731
+        self.trackers: List[BankTracker] = [
+            tracker_factory(i) for i in range(self.num_banks)]
+        self.refresh = RefreshScheduler(geometry, self.mapping,
+                                        refs_per_window)
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+    # Controller-facing operations
+    # ------------------------------------------------------------------
+    def activate(self, bank_id: int, row: int, now_ps: int) -> None:
+        """Activate ``row`` in ``bank_id``; trackers observe the ACT."""
+        self.banks[bank_id].activate(row)
+        self.trackers[bank_id].on_activate(row, now_ps)
+        self.stats.activations += 1
+
+    def note_row_press(self, bank_id: int, row: int,
+                       equivalent_acts: int, now_ps: int) -> None:
+        """Account extended row-open time as equivalent activations.
+
+        RowPress (Section II-A) amplifies disturbance when a row stays
+        open: a standard mitigation is to convert the open time into an
+        equivalent number of activations and feed them to the tracker
+        (IMPRESS / MOAT).  The ground-truth oracle counts them too, so
+        the security tests cover the amplified threat.
+        """
+        if equivalent_acts <= 0:
+            return
+        bank = self.banks[bank_id]
+        for _ in range(equivalent_acts):
+            bank.oracle.on_activate(row)
+            self.trackers[bank_id].on_activate(row, now_ps)
+        self.stats.row_press_equivalents += equivalent_acts
+
+    def alert_pending(self) -> bool:
+        """True if any bank's tracker needs an ALERT right now."""
+        return any(t.wants_alert() for t in self.trackers)
+
+    def service_alert(self, now_ps: int, rfm_slots: int = None) -> int:
+        """Run the mitigation phase of one ALERT; return rows mitigated.
+
+        Every bank with queued work mitigates one aggressor per RFM
+        issued -- this is what makes a single channel-wide ALERT
+        efficient.  ``rfm_slots`` defaults to the configured
+        ``abo.rfms_per_alert``.
+        """
+        if rfm_slots is None:
+            rfm_slots = self.config.abo.rfms_per_alert
+        self.stats.alerts_serviced += 1
+        total_victims = 0
+        for _ in range(max(1, rfm_slots)):
+            for bank, tracker in zip(self.banks, self.trackers):
+                rows = tracker.on_mitigation_slot(
+                    now_ps, MitigationSlotSource.ALERT)
+                for row in rows:
+                    victims = bank.mitigate(row, self.blast_radius)
+                    self.stats.record_mitigation(
+                        MitigationSlotSource.ALERT, victims)
+                    total_victims += victims
+        return total_victims
+
+    def do_ref(self, now_ps: int) -> RefreshSlice:
+        """Issue one REF to all banks (same RefPtr slice on each)."""
+        slice_ = self.refresh.advance()
+        self.stats.refs_issued += 1
+        for bank, tracker in zip(self.banks, self.trackers):
+            bank.refresh_rows(slice_.logical_rows)
+            tracker.on_ref_slice(slice_, now_ps)
+            rows = tracker.on_mitigation_slot(
+                now_ps, MitigationSlotSource.REF)
+            for row in rows:
+                victims = bank.mitigate(row, self.blast_radius)
+                self.stats.record_mitigation(
+                    MitigationSlotSource.REF, victims)
+            self.stats.demand_rows_refreshed += len(slice_.logical_rows)
+        return slice_
+
+    def rfm(self, bank_id: int, now_ps: int) -> int:
+        """Give ``bank_id``'s tracker an RFM slot; return rows mitigated."""
+        self.stats.rfms_issued += 1
+        bank = self.banks[bank_id]
+        rows = self.trackers[bank_id].on_mitigation_slot(
+            now_ps, MitigationSlotSource.RFM)
+        for row in rows:
+            victims = bank.mitigate(row, self.blast_radius)
+            self.stats.record_mitigation(MitigationSlotSource.RFM, victims)
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # Verification helpers
+    # ------------------------------------------------------------------
+    def max_unmitigated_acts(self) -> int:
+        """Worst unmitigated per-row ACT count across all banks (oracle)."""
+        return max(b.oracle.max_unmitigated for b in self.banks)
+
+    def attack_succeeded(self, threshold: int) -> bool:
+        """Ground truth: did any row ever exceed ``threshold``?"""
+        return any(b.oracle.attack_succeeded(threshold) for b in self.banks)

@@ -1,0 +1,181 @@
+"""Address mappings: MOP4 physical-address decoding and row-to-subarray.
+
+Two distinct mappings live here:
+
+1. :class:`AddressMapping` -- how the memory controller splits a physical
+   address into (subchannel, bank, row, column).  We implement the
+   *Minimalist Open Page* (MOP) policy with 4 lines per row group, the
+   best-performing policy for the paper's setup (Table III).
+
+2. :class:`RowToSubarrayMapping` -- how the DRAM device places *logical*
+   row numbers into physical subarray positions (Section IV-D).  This is
+   what decides whether coarse-grained filtering sees workload locality
+   concentrated (Sequential) or spread out (Strided).
+
+The reproduction works in terms of a bank-local **physical row index**
+``p`` in ``[0, rows_per_bank)``: ``p // rows_per_subarray`` is the
+subarray, ``p % rows_per_subarray`` the position inside it.  Rowhammer
+adjacency (who hammers whom) is adjacency in ``p``, *not* in the logical
+row number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.params import DramGeometry
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """A physical address decoded into DRAM coordinates."""
+
+    subchannel: int
+    bank: int
+    row: int
+    column: int
+
+    @property
+    def global_bank(self) -> int:
+        """Bank id unique across subchannels."""
+        return self.subchannel * 1_000_000 + self.bank  # pragma: no cover
+
+
+class AddressMapping:
+    """MOP-style physical address to DRAM coordinate mapping.
+
+    Bit layout from the least-significant line-address bit upward::
+
+        [mop_lines bits: column low] [1 bit: subchannel] [bank bits]
+        [column high bits] [row bits]
+
+    Mapping ``mop_lines`` consecutive cache lines to the same row exploits
+    short-range spatial locality, while striping groups across banks and
+    subchannels recovers bank-level parallelism (MOP4 in the paper).
+    """
+
+    def __init__(self, geometry: DramGeometry = DramGeometry(),
+                 line_bytes: int = 64, mop_lines: int = 4) -> None:
+        if mop_lines & (mop_lines - 1):
+            raise ValueError("mop_lines must be a power of two")
+        self.geometry = geometry
+        self.line_bytes = line_bytes
+        self.mop_lines = mop_lines
+        self._lines_per_row = geometry.row_bytes // line_bytes
+        self._col_low_bits = mop_lines.bit_length() - 1
+        self._subch_bits = (geometry.subchannels - 1).bit_length()
+        self._bank_bits = (geometry.banks_per_subchannel - 1).bit_length()
+        high_cols = self._lines_per_row // mop_lines
+        self._col_high_bits = (high_cols - 1).bit_length()
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Decode a byte-granularity physical address."""
+        line = address // self.line_bytes
+        col_low = line & (self.mop_lines - 1)
+        line >>= self._col_low_bits
+        subch = line & ((1 << self._subch_bits) - 1)
+        line >>= self._subch_bits
+        bank = line & ((1 << self._bank_bits) - 1)
+        line >>= self._bank_bits
+        col_high = line & ((1 << self._col_high_bits) - 1)
+        line >>= self._col_high_bits
+        row = line % self.geometry.rows_per_bank
+        column = (col_high << self._col_low_bits) | col_low
+        return DecodedAddress(subchannel=subch, bank=bank, row=row,
+                              column=column)
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode` (used by tests and attack kernels)."""
+        col_low = decoded.column & (self.mop_lines - 1)
+        col_high = decoded.column >> self._col_low_bits
+        line = decoded.row
+        line = (line << self._col_high_bits) | col_high
+        line = (line << self._bank_bits) | decoded.bank
+        line = (line << self._subch_bits) | decoded.subchannel
+        line = (line << self._col_low_bits) | col_low
+        return line * self.line_bytes
+
+
+class RowToSubarrayMapping:
+    """Base class: maps logical row numbers to physical row indices."""
+
+    def __init__(self, geometry: DramGeometry = DramGeometry()) -> None:
+        self.geometry = geometry
+
+    def physical_index(self, row: int) -> int:
+        """Bank-local physical row index of logical row ``row``."""
+        raise NotImplementedError
+
+    def logical_row(self, physical: int) -> int:
+        """Inverse of :meth:`physical_index`."""
+        raise NotImplementedError
+
+    def subarray_of(self, row: int) -> int:
+        """Subarray that logical row ``row`` physically lives in."""
+        return self.physical_index(row) // self.geometry.rows_per_subarray
+
+    def physical_neighbors(self, row: int, blast_radius: int = 2) -> List[int]:
+        """Logical rows physically adjacent to ``row`` (the RH victims).
+
+        Neighbours never cross a subarray boundary: subarrays are
+        electrically isolated, so the blast radius is clamped at the
+        subarray edge.
+        """
+        p = self.physical_index(row)
+        sa = p // self.geometry.rows_per_subarray
+        lo = sa * self.geometry.rows_per_subarray
+        hi = lo + self.geometry.rows_per_subarray - 1
+        neighbors = []
+        for d in range(1, blast_radius + 1):
+            if p - d >= lo:
+                neighbors.append(self.logical_row(p - d))
+            if p + d <= hi:
+                neighbors.append(self.logical_row(p + d))
+        return neighbors
+
+    def aggressors_of(self, victim_row: int, blast_radius: int = 2
+                      ) -> List[int]:
+        """Logical rows whose activation disturbs ``victim_row``.
+
+        Physical adjacency is symmetric, so this equals
+        :meth:`physical_neighbors`.
+        """
+        return self.physical_neighbors(victim_row, blast_radius)
+
+
+class SequentialR2SA(RowToSubarrayMapping):
+    """Consecutive logical rows fill a subarray before moving to the next.
+
+    The identity mapping: logical row ``r`` sits at physical index ``r``.
+    Workload locality over consecutive pages therefore lands in a handful
+    of subarrays, defeating coarse-grained filtering (Table VI).
+    """
+
+    def physical_index(self, row: int) -> int:
+        return row
+
+    def logical_row(self, physical: int) -> int:
+        return physical
+
+
+class StridedR2SA(RowToSubarrayMapping):
+    """Consecutive logical rows go to consecutive subarrays.
+
+    Logical row ``r`` maps to subarray ``r % num_subarrays`` at position
+    ``r // num_subarrays``: every ``num_subarrays``-th row shares a
+    subarray.  Locality over consecutive pages is spread across all
+    subarrays, which is what makes CGF effective (Table VI).
+    """
+
+    def physical_index(self, row: int) -> int:
+        g = self.geometry
+        subarray = row % g.subarrays_per_bank
+        position = row // g.subarrays_per_bank
+        return subarray * g.rows_per_subarray + position
+
+    def logical_row(self, physical: int) -> int:
+        g = self.geometry
+        subarray = physical // g.rows_per_subarray
+        position = physical % g.rows_per_subarray
+        return position * g.subarrays_per_bank + subarray

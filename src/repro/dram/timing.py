@@ -1,0 +1,221 @@
+"""Bank- and channel-level DDR5 timing constraint tracking.
+
+The simulator is event-driven at command granularity: instead of ticking
+a clock, each structure records the earliest picosecond at which the next
+command of each kind may legally issue, and the memory controller takes
+``max()`` over the applicable constraints.  This models exactly the
+timing parameters the paper's results hinge on (tRP/tRC inflation under
+PRAC, tFAW channel throughput, REF/RFM/ALERT blackouts) at a tiny
+fraction of the cost of a cycle-accurate model.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.params import DramTimings
+
+
+class BankTiming:
+    """Earliest-issue-time bookkeeping for one bank."""
+
+    def __init__(self, timings: DramTimings) -> None:
+        self.timings = timings
+        self._last_act: int = -(10 ** 18)
+        self._precharge_done: int = 0
+        self._blocked_until: int = 0
+        self._row_open: bool = False
+
+    @property
+    def row_open(self) -> bool:
+        return self._row_open
+
+    def earliest_activate(self, now: int) -> int:
+        """Earliest time an ACT may issue (assumes row already closed)."""
+        return max(now, self._last_act + self.timings.tRC,
+                   self._precharge_done, self._blocked_until)
+
+    def earliest_precharge(self, now: int) -> int:
+        """Earliest time a PRE may issue (tRAS after the ACT)."""
+        return max(now, self._last_act + self.timings.tRAS,
+                   self._blocked_until)
+
+    def activate(self, at: int) -> None:
+        """Record an ACT at time ``at``."""
+        self._last_act = at
+        self._row_open = True
+
+    def precharge(self, at: int) -> int:
+        """Record a PRE at time ``at``; return its completion time."""
+        self._row_open = False
+        self._precharge_done = at + self.timings.tRP
+        return self._precharge_done
+
+    def block_until(self, until: int) -> None:
+        """Black out the bank (REF, RFM, ALERT stall) until ``until``."""
+        if until > self._blocked_until:
+            self._blocked_until = until
+        self._row_open = False
+
+    @property
+    def blocked_until(self) -> int:
+        return self._blocked_until
+
+    @property
+    def last_activate(self) -> int:
+        return self._last_act
+
+
+class FawTracker:
+    """Rolling four-activate-window (tFAW) constraint for a subchannel.
+
+    ACT bookings are kept in *time* order, not call order: an ACT that
+    issues far in the future (its bank was blocked by REF/RFM) must not
+    reserve the rolling window against ACTs to other banks that can
+    legally issue sooner.  ``earliest_activate`` finds the first instant
+    at or after the requested time whose trailing tFAW window holds
+    fewer than four ACTs.
+    """
+
+    def __init__(self, timings: DramTimings) -> None:
+        self.timings = timings
+        self._times: List[int] = []
+
+    def release_before(self, t: int) -> None:
+        """Forget ACTs that predate every possible future window.
+
+        Safe with any lower bound on future query times (the controller
+        passes the monotone request-arrival clock).
+        """
+        cutoff = t - self.timings.tFAW
+        idx = bisect.bisect_left(self._times, cutoff)
+        if idx:
+            del self._times[:idx]
+
+    def earliest_activate(self, now: int) -> int:
+        """Earliest time >= ``now`` the subchannel can accept an ACT.
+
+        Bookings are out of call order, so inserting at ``t`` must not
+        create five ACTs inside *any* tFAW window -- including windows
+        anchored on bookings later than ``t``.  The check scans every
+        five-element window of the sorted neighbourhood around the
+        insertion point and slides ``t`` past the first violation.
+        """
+        faw = self.timings.tFAW
+        times = self._times
+        t = now
+        while True:
+            i = bisect.bisect_right(times, t)
+            lo = max(0, i - 4)
+            neighborhood = times[lo:i] + [t] + times[i:i + 4]
+            t_index = i - lo
+            moved = False
+            for j in range(len(neighborhood) - 4):
+                if not j <= t_index <= j + 4:
+                    continue
+                span = neighborhood[j + 4] - neighborhood[j]
+                if span < faw:
+                    # Slide past the window's first booking.
+                    t = neighborhood[j] + faw
+                    moved = True
+                    break
+            if not moved:
+                return t
+
+    def activate(self, at: int) -> None:
+        """Book an ACT at time ``at`` (kept in sorted order)."""
+        bisect.insort(self._times, at)
+
+
+class BusTracker:
+    """Shared data bus: one tBURST slot per request, out-of-order slots.
+
+    The data bus serves bursts in CAS-time order, not request-arrival
+    order: a request whose CAS is delayed (bank conflict, REF) must not
+    reserve the bus ahead of time and starve requests whose data is
+    ready sooner.  Slots are therefore booked into the earliest *gap*
+    at or after the desired time, with old gaps pruned as time advances.
+    """
+
+    def __init__(self, timings: DramTimings) -> None:
+        self.timings = timings
+        self._slots: Deque[tuple] = deque()
+        self.busy_time = 0
+
+    def release_before(self, t: int) -> None:
+        """Forget slots that end before ``t``.
+
+        Safe to call with any lower bound on all *future* desired
+        transfer times (the controller uses the monotone request-arrival
+        clock); keeps the slot list short at high utilisation.
+        """
+        slots = self._slots
+        while slots and slots[0][1] <= t:
+            slots.popleft()
+
+    def earliest_transfer(self, now: int) -> int:
+        """Earliest start >= ``now`` with a free tBURST-sized gap."""
+        burst = self.timings.tBURST
+        t = now
+        for start, end in self._slots:
+            if t + burst <= start:
+                return t
+            if t < end:
+                t = end
+        return t
+
+    def transfer(self, at: int) -> int:
+        """Book the first free slot at/after ``at``; return its end."""
+        burst = self.timings.tBURST
+        start = self.earliest_transfer(at)
+        end = start + burst
+        self._slots.append((start, end))
+        if len(self._slots) > 1 and self._slots[-2][0] > start:
+            self._slots = deque(sorted(self._slots))
+        self.busy_time += burst
+        return end
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` picoseconds the bus carried data."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class ChannelStall:
+    """Channel-wide blackout windows (ALERT stalls affect every bank)."""
+
+    def __init__(self) -> None:
+        self._blocked_until = 0
+        self.total_stall = 0
+
+    def earliest(self, now: int) -> int:
+        """Earliest instant >= ``now`` outside the blackout."""
+        return max(now, self._blocked_until)
+
+    def stall(self, start: int, duration: int) -> int:
+        """Stall the channel for ``duration`` starting at ``start``."""
+        end = start + duration
+        if end > self._blocked_until:
+            self.total_stall += end - max(start, self._blocked_until) \
+                if self._blocked_until > start else duration
+            self._blocked_until = end
+        return end
+
+    @property
+    def blocked_until(self) -> int:
+        return self._blocked_until
+
+
+def alert_sequence_times(assert_time: int, prologue: int, stall: int
+                         ) -> "tuple[int, int]":
+    """Return (stall_start, stall_end) for an ALERT asserted at a time.
+
+    Per Figure 4, after ALERT asserts the MC may operate normally for the
+    prologue, then must stall the channel for the stall period while the
+    DRAM mitigates.
+    """
+    stall_start = assert_time + prologue
+    return stall_start, stall_start + stall

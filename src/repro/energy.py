@@ -1,0 +1,123 @@
+"""DRAM energy accounting: command energies and mitigation overheads.
+
+The paper reports energy at two levels: the *relative* refresh-power
+overhead of victim refreshes (Figures 3 and 13) and absolute chip
+power (Section VIII-B: MIRZA's SRAM adds 0.6 mW against ~240 mW of
+DRAM chip power).  This module provides the standard command-energy
+model behind such numbers so runs can report absolute energy too:
+
+    E_total = N_act * (E_act + E_pre) + N_rd * E_rd
+            + N_ref * E_ref + N_victim_rows * E_row_refresh
+            + P_background * T
+
+Default constants follow DDR5 datasheet-derived values used by
+DRAMPower-style calculators (order-of-magnitude faithful; the paper's
+results only depend on ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import MitigationCosts, SystemConfig
+
+PJ = 1.0
+NJ = 1000.0 * PJ
+MW = 1.0  # milliwatts for background power
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-command energies (picojoules) and background power (mW)."""
+
+    act_pre_pj: float = 220.0
+    """One ACT + PRE pair (row open and close)."""
+
+    read_pj: float = 150.0
+    """One 64B read burst (column access + IO)."""
+
+    ref_per_row_pj: float = 55.0
+    """Refreshing one row (demand or victim)."""
+
+    background_mw: float = 110.0
+    """Standby + peripheral power per chip."""
+
+    mirza_sram_mw: float = 0.6
+    """MIRZA's RCT/queue SRAM (Section VIII-B, CACTI-7.0)."""
+
+    chip_power_mw: float = 240.0
+    """Typical total DRAM chip power the paper normalises against."""
+
+
+@dataclass
+class EnergyBreakdown:
+    """Absolute energy of one simulated window, in picojoules."""
+
+    activation_pj: float
+    read_pj: float
+    demand_refresh_pj: float
+    victim_refresh_pj: float
+    background_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return (self.activation_pj + self.read_pj
+                + self.demand_refresh_pj + self.victim_refresh_pj
+                + self.background_pj)
+
+    @property
+    def refresh_power_overhead(self) -> float:
+        """Victim refresh relative to demand refresh (the paper's
+        Figure 3/13 metric, now in energy terms)."""
+        if self.demand_refresh_pj == 0:
+            return 0.0
+        return self.victim_refresh_pj / self.demand_refresh_pj
+
+    @property
+    def mitigation_fraction(self) -> float:
+        """Share of total energy spent on victim refreshes."""
+        if self.total_pj == 0:
+            return 0.0
+        return self.victim_refresh_pj / self.total_pj
+
+
+def energy_of_run(result, params: EnergyParams = EnergyParams()
+                  ) -> EnergyBreakdown:
+    """Energy breakdown of a :class:`repro.cpu.system.SimResult`."""
+    window_s = result.window_ps * 1e-12
+    background = params.background_mw * 1e-3 * window_s * 1e12  # pJ
+    return EnergyBreakdown(
+        activation_pj=result.total_activations * params.act_pre_pj,
+        read_pj=result.total_requests * params.read_pj,
+        demand_refresh_pj=(result.demand_rows_refreshed
+                           * params.ref_per_row_pj),
+        victim_refresh_pj=(result.victim_rows_refreshed
+                           * params.ref_per_row_pj),
+        background_pj=background,
+    )
+
+
+def mirza_sram_power_fraction(params: EnergyParams = EnergyParams()
+                              ) -> float:
+    """MIRZA SRAM power relative to chip power (~0.25%, Section
+    VIII-B)."""
+    return params.mirza_sram_mw / params.chip_power_mw
+
+
+def mitigation_energy_per_act(window: int, escape_probability: float,
+                              costs: MitigationCosts = MitigationCosts(),
+                              params: EnergyParams = EnergyParams()
+                              ) -> float:
+    """Expected victim-refresh energy per activation (pJ).
+
+    ``window`` is the MINT window; ``escape_probability`` is 1.0 for
+    plain MINT and the RCT escape rate for MIRZA -- making the Table
+    VIII rate ratio directly an energy ratio.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if not 0.0 <= escape_probability <= 1.0:
+        raise ValueError("escape probability must be in [0, 1]")
+    mitigations_per_act = escape_probability / window
+    return (mitigations_per_act * costs.victims_per_mitigation
+            * params.ref_per_row_pj)

@@ -1,0 +1,63 @@
+"""Figure 1(c): the headline numbers.
+
+MIRZA needs ~28x fewer mitigations than MINT (Table VIII at TRHD=1K)
+and ~45x less area than PRAC (Table X at TRHD=1K), at 196 bytes of
+SRAM per bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import MirzaConfig
+from repro.experiments import table8, table10
+from repro.params import SimScale
+from repro.sim.stats import format_table
+
+PAPER = {"mitigation_reduction": 28.5, "area_reduction": 45.0,
+         "sram_bytes": 196}
+
+
+@dataclass
+class Fig1Summary:
+    mitigation_reduction: float
+    area_reduction: float
+    sram_bytes_per_bank: float
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None) -> Fig1Summary:
+    """Execute the experiment; returns the structured results."""
+    overhead = [r for r in table8.run(workloads, scale)
+                if r.trhd == 1000][0]
+    area = [r for r in table10.run() if r.trhd == 1000][0]
+    config = MirzaConfig.paper_config(1000)
+    return Fig1Summary(
+        mitigation_reduction=overhead.reduction,
+        area_reduction=area.area_ratio,
+        sram_bytes_per_bank=config.storage_bytes_per_bank,
+    )
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    summary = run()
+    rows = [
+        ["mitigations vs MINT",
+         f"{summary.mitigation_reduction:.1f}x fewer",
+         f"{PAPER['mitigation_reduction']}x"],
+        ["area vs PRAC", f"{summary.area_reduction:.1f}x lower",
+         f"{PAPER['area_reduction']}x"],
+        ["SRAM per bank", f"{summary.sram_bytes_per_bank:.0f} B",
+         f"{PAPER['sram_bytes']} B"],
+    ]
+    table = format_table(["Metric", "measured", "paper"], rows,
+                         title="Figure 1(c): headline summary "
+                               "(TRHD=1K)")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Figure 11: (a) slowdown of MIRZA vs PRAC; (b) ALERT rate.
+
+Paper: MIRZA slows workloads by 1.43% / 0.36% / 0.05% on average at
+TRHD 500 / 1K / 2K while PRAC+ABO sits at 6.5% everywhere.  At TRHD=1K
+MIRZA raises 2.16 ALERTs per 100 tREFI per subchannel; PRAC raises
+almost none (its slowdown is purely the inflated timings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import default_scale, selected_workloads
+from repro.params import SimScale
+from repro.sim.runner import mirza_setup, prac_setup, slowdown_for
+from repro.sim.stats import format_table, mean
+
+PAPER = {
+    "mirza_slowdown": {500: 1.43, 1000: 0.36, 2000: 0.05},
+    "prac_slowdown": 6.5,
+    "mirza_alerts_per_100_trefi_1k": 2.16,
+}
+
+
+@dataclass
+class Fig11Result:
+    mirza_slowdown: Dict[int, float] = field(default_factory=dict)
+    mirza_alert_rate: Dict[int, float] = field(default_factory=dict)
+    prac_slowdown: float = 0.0
+    prac_alert_rate: float = 0.0
+    per_workload: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        thresholds: Sequence[int] = (500, 1000, 2000)) -> Fig11Result:
+    """Execute the experiment; returns the structured results."""
+    scale = scale or default_scale()
+    specs = selected_workloads(workloads)
+    result = Fig11Result()
+    prac_sd, prac_alerts = [], []
+    for spec in specs:
+        per = {}
+        sd, protected = slowdown_for(spec, prac_setup(1000), scale)
+        per["prac"] = sd
+        prac_sd.append(sd)
+        prac_alerts.append(protected.alerts_per_100_trefi())
+        for trhd in thresholds:
+            sd, protected = slowdown_for(
+                spec, mirza_setup(trhd, scale), scale)
+            per[f"mirza-{trhd}"] = sd
+            per[f"alerts-{trhd}"] = protected.alerts_per_100_trefi()
+        result.per_workload[spec.name] = per
+    for trhd in thresholds:
+        result.mirza_slowdown[trhd] = mean(
+            p[f"mirza-{trhd}"] for p in result.per_workload.values())
+        result.mirza_alert_rate[trhd] = mean(
+            p[f"alerts-{trhd}"] for p in result.per_workload.values())
+    result.prac_slowdown = mean(prac_sd)
+    result.prac_alert_rate = mean(prac_alerts)
+    return result
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    result = run()
+    rows = []
+    for trhd in sorted(result.mirza_slowdown):
+        rows.append([
+            f"MIRZA-{trhd}",
+            f"{result.mirza_slowdown[trhd]:.2f}%",
+            f"{PAPER['mirza_slowdown'][trhd]}%",
+            f"{result.mirza_alert_rate[trhd]:.2f}",
+            f"{PAPER['mirza_alerts_per_100_trefi_1k']}"
+            if trhd == 1000 else "-",
+        ])
+    rows.append(["PRAC+ABO", f"{result.prac_slowdown:.2f}%",
+                 f"{PAPER['prac_slowdown']}%",
+                 f"{result.prac_alert_rate:.2f}", "~0"])
+    table = format_table(
+        ["Config", "Slowdown", "paper", "ALERTs/100 tREFI", "paper"],
+        rows, title="Figure 11: MIRZA vs PRAC performance and ALERTs")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

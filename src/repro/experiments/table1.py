@@ -1,0 +1,57 @@
+"""Table I: DRAM timings (DDR5 specs for 6000AN) and the PRAC column."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.params import DramTimings, ns
+from repro.sim.stats import format_table
+
+PAPER_ROWS = {
+    "tRCD": (14, 14),
+    "tRP": (14, 36),
+    "tRAS": (32, 16),
+    "tRC": (46, 52),
+}
+"""Parameter -> (DDR5 ns, PRAC ns)."""
+
+
+def run() -> Dict[str, Dict[str, int]]:
+    """Return the modelled timing values in nanoseconds."""
+    base = DramTimings()
+    prac = base.with_prac()
+    out = {}
+    for name in PAPER_ROWS:
+        out[name] = {
+            "ddr5_ns": getattr(base, name) // ns(1),
+            "prac_ns": getattr(prac, name) // ns(1),
+        }
+    out["tREFW"] = {"ddr5_ns": base.tREFW // ns(1), "prac_ns": None}
+    out["tREFI"] = {"ddr5_ns": base.tREFI // ns(1), "prac_ns": None}
+    out["tRFC"] = {"ddr5_ns": base.tRFC // ns(1), "prac_ns": None}
+    return out
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    values = run()
+    rows = []
+    for name, cells in values.items():
+        paper = PAPER_ROWS.get(name)
+        rows.append([
+            name,
+            cells["ddr5_ns"],
+            cells["prac_ns"] if cells["prac_ns"] is not None else "-",
+            paper[0] if paper else cells["ddr5_ns"],
+            paper[1] if paper else "-",
+        ])
+    table = format_table(
+        ["Param", "model DDR5", "model PRAC", "paper DDR5",
+         "paper PRAC"],
+        rows, title="Table I: DRAM timings (ns)")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

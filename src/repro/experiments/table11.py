@@ -1,0 +1,75 @@
+"""Table XI / Figure 12: the performance (DoS) attack on MIRZA.
+
+Section IX-A's analytic model: a benign application striping reads
+over 16 banks sustains one ACT per tBURST (3 ns).  An attacker primes
+one RCT region past FTH with a circular K-row pattern, after which
+every MINT window of W escaped ACTs produces one queued selection and
+one ALERT.  Per ALERT cycle the attacker lands 3 ACTs in the prologue
+and W-3 outside, so the benign application gets
+
+    usable = (prologue - tRC) + (W - 3) * tRC   of every
+    cycle  = alert_latency  + (W - 3) * tRC.
+
+The paper reports relative throughput 63.4% / 55.9% / 44.5% (slowdown
+1.6x / 1.8x / 2.25x) for MINT-W 16 / 12 / 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.params import AboTimings, DramTimings
+from repro.sim.stats import format_table
+
+PAPER = {16: (63.4, 1.6), 12: (55.9, 1.8), 8: (44.5, 2.25)}
+
+
+@dataclass
+class Table11Row:
+    mint_window: int
+    relative_throughput_pct: float
+
+    @property
+    def slowdown_factor(self) -> float:
+        return 100.0 / self.relative_throughput_pct
+
+
+def attack_relative_throughput(mint_window: int,
+                               timings: DramTimings = DramTimings(),
+                               abo: AboTimings = AboTimings()) -> float:
+    """Benign ACT throughput under attack, relative to unattacked."""
+    if mint_window < abo.acts_during_prologue + abo.epilogue_acts:
+        raise ValueError("MINT window below the ABO protocol minimum")
+    outside_acts = mint_window - abo.acts_during_prologue
+    outside_time = outside_acts * timings.tRC
+    usable = (abo.prologue - timings.tRC) + outside_time
+    cycle = abo.latency + outside_time
+    return 100.0 * usable / cycle
+
+
+def run(windows: Sequence[int] = (16, 12, 8)) -> List[Table11Row]:
+    """Execute the experiment; returns the structured results."""
+    return [Table11Row(w, attack_relative_throughput(w))
+            for w in windows]
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    rows = []
+    for row in run():
+        paper_tp, paper_sd = PAPER[row.mint_window]
+        rows.append([
+            row.mint_window,
+            f"{row.relative_throughput_pct:.1f}% (paper {paper_tp}%)",
+            f"{row.slowdown_factor:.2f}x (paper {paper_sd}x)",
+        ])
+    table = format_table(
+        ["MINT-W", "ACT throughput", "Slowdown"],
+        rows, title="Table XI: performance attack on MIRZA")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Table XII: storage and mitigation overheads at today's TRHD (4.8K).
+
+At the current threshold all three trackers are cheap in SRAM, but TRR
+is insecure, and both TRR and MINT cannibalise REF time for proactive
+mitigations; MIRZA performs no victim refresh under REF at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.params import DramTimings, MitigationCosts
+from repro.security.area import (
+    mint_storage_bytes_per_bank,
+    mirza_storage_bytes_per_bank,
+    trr_storage_bytes_per_bank,
+)
+from repro.security.analysis import refresh_cannibalization
+from repro.sim.stats import format_table
+
+PAPER = {
+    "TRR": {"storage": 84, "secure": False, "cannibalization": 17.0},
+    "MINT": {"storage": 20, "secure": True, "cannibalization": 23.0},
+    "MIRZA": {"storage": 72, "secure": True, "cannibalization": 0.0},
+}
+
+
+@dataclass
+class Table12Row:
+    tracker: str
+    storage_bytes: float
+    secure: bool
+    cannibalization_pct: float
+
+
+def run() -> List[Table12Row]:
+    """Execute the experiment; returns the structured results."""
+    # TRR: 28 entries, one mitigation per 4 REF.
+    trr = Table12Row(
+        tracker="TRR",
+        storage_bytes=trr_storage_bytes_per_bank(),
+        secure=False,
+        cannibalization_pct=100 * refresh_cannibalization(4))
+    # MINT with a Delayed Mitigation Queue, one mitigation per 3 REF.
+    mint = Table12Row(
+        tracker="MINT",
+        storage_bytes=mint_storage_bytes_per_bank(),
+        secure=True,
+        cannibalization_pct=100 * refresh_cannibalization(3))
+    # MIRZA at TRHD 4.8K: 32 regions (CGT), zero REF cannibalisation.
+    # At so relaxed a threshold a wide MINT window (48) suffices; the
+    # solver then gives a 13-bit FTH, matching the paper's 72 bytes.
+    from repro.security.mirza_model import solve_fth
+    fth_48k = solve_fth(4800, mint_window=48)
+    mirza = Table12Row(
+        tracker="MIRZA",
+        storage_bytes=mirza_storage_bytes_per_bank(32, fth_48k),
+        secure=True,
+        cannibalization_pct=0.0)
+    return [trr, mint, mirza]
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    rows = []
+    for row in run():
+        paper = PAPER[row.tracker]
+        rows.append([
+            row.tracker,
+            f"{row.storage_bytes:.0f}B (paper {paper['storage']}B)",
+            "yes" if row.secure else "NO",
+            f"{row.cannibalization_pct:.0f}% "
+            f"(paper {paper['cannibalization']:.0f}%)",
+        ])
+    table = format_table(
+        ["Tracker", "Storage/bank", "Secure?",
+         "Refresh cannibalization"],
+        rows, title="Table XII: overheads at TRHD=4.8K")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Table XIII: average vs worst-case slowdown for PRAC, MINT, MIRZA.
+
+Average slowdowns come from the benign-workload simulations (Figures 3
+and 11); worst-case (performance-attack) slowdowns come from the
+Section IX analytic throughput model for MIRZA and the paper's
+reported factors for PRAC/MINT (whose attack surface is an MC-level
+bandwidth question, not a tracker question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import MirzaConfig
+from repro.experiments import fig3, fig11
+from repro.experiments.table11 import attack_relative_throughput
+from repro.params import SimScale
+from repro.sim.stats import format_table
+
+PAPER = {
+    (500, "PRAC+ABO"): (1.2, 6.5), (500, "MINT+RFM"): (1.4, 10.95),
+    (500, "MIRZA"): (2.25, 1.43),
+    (1000, "PRAC+ABO"): (1.1, 6.5), (1000, "MINT+RFM"): (1.2, 5.81),
+    (1000, "MIRZA"): (1.8, 0.36),
+    (2000, "PRAC+ABO"): (1.05, 6.5), (2000, "MINT+RFM"): (1.1, 3.08),
+    (2000, "MIRZA"): (1.6, 0.05),
+}
+"""(TRHD, tracker) -> (perf-attack slowdown x, average slowdown %)."""
+
+
+@dataclass
+class Table13Row:
+    trhd: int
+    tracker: str
+    attack_slowdown_x: float
+    average_slowdown_pct: float
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None) -> List[Table13Row]:
+    """Execute the experiment; returns the structured results."""
+    benign_rfm = fig3.run(workloads, scale)
+    benign_mirza = fig11.run(workloads, scale)
+    rows = []
+    for trhd in (500, 1000, 2000):
+        window = MirzaConfig.paper_config(trhd).mint_window
+        attack_x = 100.0 / attack_relative_throughput(window)
+        rows.extend([
+            Table13Row(trhd, "PRAC+ABO",
+                       PAPER[(trhd, "PRAC+ABO")][0],
+                       benign_mirza.prac_slowdown),
+            Table13Row(trhd, "MINT+RFM",
+                       PAPER[(trhd, "MINT+RFM")][0],
+                       benign_rfm.mint_slowdown[trhd]),
+            Table13Row(trhd, "MIRZA", attack_x,
+                       benign_mirza.mirza_slowdown[trhd]),
+        ])
+    return rows
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table_rows = []
+    for row in run():
+        paper_attack, paper_avg = PAPER[(row.trhd, row.tracker)]
+        table_rows.append([
+            row.trhd, row.tracker,
+            f"{row.attack_slowdown_x:.2f}x (paper {paper_attack}x)",
+            f"{row.average_slowdown_pct:.2f}% (paper {paper_avg}%)",
+        ])
+    table = format_table(
+        ["TRHD", "Tracker", "Perf-attack slowdown",
+         "Average slowdown"],
+        table_rows,
+        title="Table XIII: average vs worst-case slowdown")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

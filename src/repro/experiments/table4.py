@@ -1,0 +1,86 @@
+"""Table IV: workload characteristics, paper vs measured.
+
+The generator is *calibrated* to these statistics, so this experiment
+is the closed-loop check: run the unprotected baseline and measure
+L3-MPKI (from retired instructions and requests), ACT-PKI, bus
+utilisation, and the per-subarray activation mean/std under strided
+row-to-subarray mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import (
+    acts_per_subarray_for,
+    default_scale,
+    selected_workloads,
+)
+from repro.params import SimScale
+from repro.sim.runner import run_baseline
+from repro.sim.stats import format_table
+
+
+@dataclass
+class WorkloadMeasurement:
+    name: str
+    mpki: float
+    act_pki: float
+    bus_util_pct: float
+    acts_per_subarray_mean: float
+    acts_per_subarray_std: float
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None
+        ) -> Dict[str, WorkloadMeasurement]:
+    """Execute the experiment; returns the structured results."""
+    scale = scale or default_scale()
+    out = {}
+    for spec in selected_workloads(workloads):
+        result = run_baseline(spec, scale)
+        instructions = sum(result.instructions)
+        kilo = instructions / 1000.0 if instructions else 1.0
+        mean, std = acts_per_subarray_for(spec, scale)
+        # Scale per-subarray stats back up to the full 32 ms window for
+        # a like-for-like comparison with the paper's numbers.
+        s = scale.time_scale
+        out[spec.name] = WorkloadMeasurement(
+            name=spec.name,
+            mpki=result.total_requests / kilo,
+            act_pki=result.total_activations / kilo,
+            bus_util_pct=100.0 * result.bus_utilization,
+            acts_per_subarray_mean=mean * s,
+            acts_per_subarray_std=std * s,
+        )
+    return out
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    measurements = run()
+    rows = []
+    for name, m in measurements.items():
+        from repro.workloads.specs import workload_by_name
+        spec = workload_by_name(name)
+        rows.append([
+            name,
+            f"{m.mpki:.1f}/{spec.l3_mpki}",
+            f"{m.act_pki:.1f}/{spec.act_pki}",
+            f"{m.bus_util_pct:.0f}/{spec.bus_util_pct}",
+            f"{m.acts_per_subarray_mean:.0f}/"
+            f"{spec.acts_per_subarray_mean}",
+            f"{m.acts_per_subarray_std:.0f}/"
+            f"{spec.acts_per_subarray_std}",
+        ])
+    table = format_table(
+        ["Workload", "MPKI (meas/paper)", "ACT-PKI", "Bus util %",
+         "ACT/subarray mean", "ACT/subarray std"],
+        rows, title="Table IV: workload characteristics")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Table V: Naive MIRZA slowdown vs MIRZA-Q size.
+
+The paper sweeps MINT-W in {24, 48, 96} (TRHD 500/1K/2K) and queue
+sizes {1, 2, 4, 8}; buffering across banks makes each channel-wide
+ALERT serve many banks, collapsing the slowdown from >60% (1 entry) to
+a few percent (4 entries) -- but even the best naive design stays in
+RFM territory, which motivates filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import default_scale, selected_workloads
+from repro.params import SimScale
+from repro.sim.runner import naive_mirza_setup, slowdown_for
+from repro.sim.stats import format_table, mean
+
+PAPER = {
+    (24, 1): 151.83, (24, 2): 14.21, (24, 4): 10.95, (24, 8): 10.49,
+    (48, 1): 102.18, (48, 2): 7.02, (48, 4): 5.81, (48, 8): 5.62,
+    (96, 1): 64.07, (96, 2): 3.52, (96, 4): 3.08, (96, 8): 3.01,
+}
+
+
+@dataclass
+class Table5Result:
+    slowdown: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    """(MINT-W, queue entries) -> average slowdown %"""
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        windows: Sequence[int] = (24, 48, 96),
+        queue_sizes: Sequence[int] = (1, 2, 4, 8)) -> Table5Result:
+    """Execute the experiment; returns the structured results."""
+    scale = scale or default_scale()
+    specs = selected_workloads(workloads)
+    result = Table5Result()
+    for window in windows:
+        for entries in queue_sizes:
+            setup = naive_mirza_setup(window, queue_entries=entries)
+            slowdowns = [slowdown_for(spec, setup, scale)[0]
+                         for spec in specs]
+            result.slowdown[(window, entries)] = mean(slowdowns)
+    return result
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    result = run()
+    windows = sorted({w for w, _ in result.slowdown})
+    queues = sorted({q for _, q in result.slowdown})
+    rows = []
+    for window in windows:
+        row = [f"MINT-W {window}"]
+        for q in queues:
+            measured = result.slowdown[(window, q)]
+            paper = PAPER.get((window, q), "-")
+            row.append(f"{measured:.2f}% ({paper}%)")
+        rows.append(row)
+    table = format_table(
+        ["Window"] + [f"Q={q} (paper)" for q in queues], rows,
+        title="Table V: Naive MIRZA slowdown vs MIRZA-Q size")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

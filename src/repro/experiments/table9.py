@@ -1,0 +1,88 @@
+"""Table IX: MINT-W / FTH sensitivity at TRHD = 1000.
+
+The security bound trades the two knobs off: a larger MINT window
+needs a lower FTH (less filtering, more escapes) but raises ALERTs
+less often per escape.  The paper's sweep (W, FTH) = (4, 1820),
+(8, 1660), (12, 1500), (16, 1350) shows slowdown growing with W
+because the unfiltered-ACT growth dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import MirzaConfig
+from repro.experiments.common import (
+    default_scale,
+    measure_cgf,
+    selected_workloads,
+)
+from repro.params import SimScale
+from repro.sim.runner import mirza_setup, slowdown_for
+from repro.sim.stats import format_table, mean
+
+PAPER_POINTS = [(4, 1820), (8, 1660), (12, 1500), (16, 1350)]
+PAPER_SLOWDOWN = {4: 0.1, 8: 0.13, 12: 0.36, 16: 0.6}
+PAPER_REMAINING = {4: 0.06, 8: 0.21, 12: 0.88, 16: 2.29}
+
+
+@dataclass
+class Table9Row:
+    mint_window: int
+    fth: int
+    slowdown_pct: float
+    remaining_acts_pct: float
+    sram_bytes: float
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        points: Sequence[Tuple[int, int]] = tuple(PAPER_POINTS)
+        ) -> List[Table9Row]:
+    """Execute the experiment; returns the structured results."""
+    scale = scale or default_scale()
+    specs = selected_workloads(workloads)
+    rows = []
+    for window, fth in points:
+        config = MirzaConfig(trhd=1000, fth=fth, mint_window=window,
+                             num_regions=128)
+        setup = mirza_setup(1000, scale, config=config)
+        slowdowns = [slowdown_for(spec, setup, scale)[0]
+                     for spec in specs]
+        scaled_fth = scale.scale_threshold(fth)
+        remaining = [measure_cgf(spec, "strided", scaled_fth, 128,
+                                 scale).remaining_pct
+                     for spec in specs]
+        rows.append(Table9Row(
+            mint_window=window, fth=fth,
+            slowdown_pct=mean(slowdowns),
+            remaining_acts_pct=mean(remaining),
+            sram_bytes=config.storage_bytes_per_bank,
+        ))
+    return rows
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table_rows = []
+    for row in run():
+        table_rows.append([
+            row.mint_window,
+            row.fth,
+            f"{row.sram_bytes:.0f}",
+            f"{row.slowdown_pct:.2f}% "
+            f"(paper {PAPER_SLOWDOWN[row.mint_window]}%)",
+            f"{row.remaining_acts_pct:.2f}% "
+            f"(paper {PAPER_REMAINING[row.mint_window]}%)",
+        ])
+    table = format_table(
+        ["MINT-W", "FTH", "SRAM/bank", "Slowdown", "Remaining ACTs"],
+        table_rows,
+        title="Table IX: FTH vs MINT-W sensitivity at TRHD=1K")
+    print(table)
+    return table
+
+
+if __name__ == "__main__":
+    main()

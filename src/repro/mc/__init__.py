@@ -1,0 +1,22 @@
+"""Memory-controller substrate: command timing, RFM, and ABO handling.
+
+- :mod:`repro.mc.abo`        -- the ALERT-Back-Off state machine and the
+  channel stall-window bookkeeping of Figure 4.
+- :mod:`repro.mc.rfm`        -- the proactive Refresh Management engine
+  (per-bank BAT counters, Section II-F).
+- :mod:`repro.mc.controller` -- the command-granularity memory
+  controller: per-bank open-page state with a soft close-page policy,
+  DDR5 timing enforcement, refresh pacing, and request service.
+"""
+
+from repro.mc.abo import AboEngine, StallWindows
+from repro.mc.controller import MemoryController, RequestResult
+from repro.mc.rfm import RfmEngine
+
+__all__ = [
+    "AboEngine",
+    "MemoryController",
+    "RequestResult",
+    "RfmEngine",
+    "StallWindows",
+]

@@ -1,0 +1,270 @@
+"""Command-granularity DDR5 memory controller for one subchannel.
+
+The controller is event-free in the small: each request's command
+sequence (optional PRE, optional ACT, CAS + data burst) is scheduled
+arithmetically against
+
+- per-bank DDR5 timing state (tRC/tRAS/tRP/tRCD, REF blackouts),
+- the rolling four-activate window (tFAW),
+- the shared data bus (tBURST per request),
+- channel-wide ALERT stall windows (ABO), and
+- the demand-refresh schedule (one all-bank REF per tREFI).
+
+A *soft close-page* policy is modelled: a row stays open for ``tRAS``
+after its activation and closes automatically afterwards unless another
+request to the same row arrives first (each hit extends the window).
+This matches the paper's policy ("closes a row after tRAS unless there
+are pending requests to the opened row") at request granularity.
+
+The controller also hosts the proactive RFM engine (when configured)
+and the reactive ABO engine; both interact with the per-bank trackers
+through :class:`repro.dram.device.DramDevice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dram.device import DramDevice
+from repro.dram.timing import BankTiming, BusTracker, FawTracker
+from repro.mitigations.base import MitigationSlotSource
+from repro.mc.abo import AboEngine
+from repro.mc.drfm import DrfmEngine
+from repro.mc.rfm import RfmEngine
+from repro.mc.validator import CommandLog
+from repro.params import SystemConfig
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Outcome of one memory request."""
+
+    issue_time: int
+    """When the first command of the request issued (ps)."""
+
+    completion_time: int
+    """When the data burst finished (ps)."""
+
+    activated: bool
+    """True when the request required an ACT (row miss or conflict)."""
+
+    row_hit: bool
+    """True when the request hit the open row."""
+
+
+class MemoryController:
+    """FCFS-per-bank controller with open-page state and ABO/RFM."""
+
+    def __init__(self, config: SystemConfig, device: DramDevice,
+                 rfm_bat: Optional[int] = None,
+                 command_log: Optional[CommandLog] = None,
+                 rowpress_to_acts: bool = False,
+                 drfm: Optional[DrfmEngine] = None) -> None:
+        self.config = config
+        self.log = command_log
+        self.rowpress_to_acts = rowpress_to_acts
+        self.drfm = drfm
+        self.timings = config.timings
+        self.device = device
+        num_banks = device.num_banks
+        self.banks: List[BankTiming] = [
+            BankTiming(self.timings) for _ in range(num_banks)]
+        self.faw = FawTracker(self.timings)
+        self.bus = BusTracker(self.timings)
+        self.abo = AboEngine(config.abo)
+        self.rfm = RfmEngine(num_banks, rfm_bat, self.timings.tRFM)
+        self._open_row: List[Optional[int]] = [None] * num_banks
+        self._row_close_at: List[int] = [0] * num_banks
+        self._next_ref = self.timings.tREFI
+        self.total_requests = 0
+        self.total_activations = 0
+        self.row_hits = 0
+
+    # ------------------------------------------------------------------
+    # Refresh pacing
+    # ------------------------------------------------------------------
+    def process_refreshes(self, until: int) -> None:
+        """Issue every REF whose nominal slot is at or before ``until``."""
+        while self._next_ref <= until:
+            start = self.abo.stalls.adjust(self._next_ref)
+            end = start + self.timings.tRFC
+            for bank_id, bank in enumerate(self.banks):
+                bank.block_until(end)
+                self._open_row[bank_id] = None
+            if self.log is not None:
+                self.log.record_ref(start, end)
+            self.device.do_ref(start)
+            self._next_ref += self.timings.tREFI
+        self.abo.stalls.drop_before(until - 10 * self.timings.tREFI)
+
+    # ------------------------------------------------------------------
+    # Request service
+    # ------------------------------------------------------------------
+    def serve(self, bank_id: int, row: int, arrival: int) -> RequestResult:
+        """Schedule one read-sized request; returns its timing."""
+        self.process_refreshes(arrival)
+        self.bus.release_before(arrival)
+        self.faw.release_before(arrival)
+        self.total_requests += 1
+        bank = self.banks[bank_id]
+        open_row = self._effective_open_row(bank_id, arrival)
+
+        if open_row == row:
+            issue = self.abo.stalls.adjust(
+                max(arrival, bank.blocked_until))
+            self.row_hits += 1
+            activated = False
+        else:
+            issue = self._activate(bank_id, row, arrival,
+                                   conflict=open_row is not None)
+            activated = True
+
+        cas = self.abo.stalls.adjust(
+            max(issue + (self.timings.tRCD if activated else 0),
+                self.bus.earliest_transfer(arrival)))
+        data_done = self.bus.transfer(cas) + self.timings.tCAS
+        if self.log is not None:
+            burst_end = data_done - self.timings.tCAS
+            self.log.record_burst(burst_end - self.timings.tBURST,
+                                  burst_end)
+        # A served request keeps its row open for another tRAS.
+        self._row_close_at[bank_id] = max(
+            self._row_close_at[bank_id], cas + self.timings.tRAS)
+        return RequestResult(issue_time=issue, completion_time=data_done,
+                             activated=activated,
+                             row_hit=(not activated))
+
+    def _effective_open_row(self, bank_id: int, now: int) -> Optional[int]:
+        """Open row visible at ``now`` under the soft close-page policy."""
+        row = self._open_row[bank_id]
+        if row is None:
+            return None
+        if now > self._row_close_at[bank_id]:
+            # The row auto-closed; model the precharge as already done
+            # (it started at close time, well before `now` arrivals that
+            # exceed close + tRP; earlier arrivals pay the residue via
+            # BankTiming's precharge bookkeeping below).
+            return None
+        return row
+
+    def _activate(self, bank_id: int, row: int, arrival: int,
+                  conflict: bool) -> int:
+        """Issue (PRE +) ACT for ``row``; return the ACT issue time."""
+        bank = self.banks[bank_id]
+        ready = arrival
+        if conflict:
+            pre = self.abo.stalls.adjust(bank.earliest_precharge(arrival))
+            self._note_row_press(bank_id, pre)
+            ready = bank.precharge(pre)
+            if self.log is not None:
+                self.log.record_precharge(pre, bank_id)
+        elif self._open_row[bank_id] is not None:
+            # Row auto-closed at row_close_at; precharge trails it.
+            auto_pre = self._row_close_at[bank_id]
+            self._note_row_press(bank_id, auto_pre)
+            ready = max(arrival, auto_pre + self.timings.tRP)
+            bank.precharge(auto_pre)
+            if self.log is not None:
+                self.log.record_precharge(auto_pre, bank_id)
+        # Fixpoint over the constraints: pushing the ACT later (bank
+        # blackout, stall window) can land it inside an already-full
+        # tFAW window or a not-yet-processed REF slot, so every
+        # constraint -- including future refreshes up to the candidate
+        # time -- is re-evaluated until none moves it.
+        act = ready
+        while True:
+            self.process_refreshes(act)
+            candidate = self.abo.stalls.adjust(
+                max(bank.earliest_activate(act),
+                    self.faw.earliest_activate(act)))
+            if candidate == act:
+                break
+            act = candidate
+        bank.activate(act)
+        self.faw.activate(act)
+        if self.log is not None:
+            self.log.record_act(act, bank_id)
+        self._open_row[bank_id] = row
+        self._row_close_at[bank_id] = act + self.timings.tRAS
+        self.total_activations += 1
+        self.device.activate(bank_id, row, act)
+        self.abo.on_activate()
+        if self.rfm.on_activate(bank_id):
+            self._issue_rfm(bank_id, act)
+        if self.drfm is not None and self.drfm.on_activate(bank_id, row):
+            self._issue_drfm(act)
+        self._check_alert(act)
+        return act
+
+    def _note_row_press(self, bank_id: int, pre_time: int) -> None:
+        """Convert extended row-open time into equivalent ACTs.
+
+        RowPress mitigation (Section II-A): a row held open for ``n``
+        tRAS periods disturbs its neighbours like ~``n`` activations;
+        with ``rowpress_to_acts`` enabled, the excess over the first
+        period is reported to the tracker (and the oracle) as
+        equivalent activations, capped to bound the bookkeeping.
+        """
+        if not self.rowpress_to_acts:
+            return
+        row = self._open_row[bank_id]
+        if row is None:
+            return
+        open_time = pre_time - self.banks[bank_id].last_activate
+        equivalent = min(16, open_time // self.timings.tRAS - 1)
+        if equivalent > 0:
+            self.device.note_row_press(bank_id, row, equivalent,
+                                       pre_time)
+
+    def _issue_rfm(self, bank_id: int, act_time: int) -> None:
+        """Stall ``bank_id`` for an RFM right after the triggering ACT."""
+        start = self.abo.stalls.adjust(act_time + self.timings.tRAS)
+        end = start + self.rfm.rfm_duration
+        self.banks[bank_id].block_until(end)
+        self._open_row[bank_id] = None
+        if self.log is not None:
+            self.log.record_rfm(start, end, bank_id)
+        self.device.rfm(bank_id, start)
+
+    def _issue_drfm(self, act_time: int) -> None:
+        """Release the DRFM batch: every sampled bank mitigates its
+        latched aggressor under a single tRFM-length stall."""
+        start = self.abo.stalls.adjust(act_time + self.timings.tRAS)
+        end = start + self.timings.tRFM
+        for bank_id, aggressor in self.drfm.issue_drfm():
+            self.banks[bank_id].block_until(end)
+            self._open_row[bank_id] = None
+            if self.log is not None:
+                self.log.record_rfm(start, end, bank_id)
+            victims = self.device.banks[bank_id].mitigate(
+                aggressor, self.device.blast_radius)
+            self.device.stats.record_mitigation(
+                MitigationSlotSource.RFM, victims)
+
+    def _check_alert(self, now: int) -> None:
+        """Run the ABO sequence if any tracker is requesting ALERT."""
+        asserted = self.abo.maybe_assert(self.device.alert_pending(), now)
+        if asserted is None:
+            return
+        stall_start, stall_end = asserted
+        if self.log is not None:
+            self.log.record_stall(stall_start, stall_end)
+        self.device.service_alert(stall_end)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def finish(self, end_time: int) -> None:
+        """Flush refreshes to the end of the simulated window."""
+        self.process_refreshes(end_time)
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.total_requests == 0:
+            return 0.0
+        return self.row_hits / self.total_requests
+
+    @property
+    def alerts(self) -> int:
+        return self.abo.alerts_asserted

@@ -1,0 +1,197 @@
+"""Post-hoc DDR5 timing validation of simulated command streams.
+
+The controller schedules arithmetically rather than by ticking a
+clock, so correctness of the timing model is *checked* instead of
+assumed: with a :class:`CommandLog` attached, every ACT/PRE/REF/RFM/
+ALERT/data-burst is recorded, and :class:`TimingValidator` re-derives
+the JEDEC constraints over the whole run:
+
+- consecutive ACTs to one bank at least tRC apart;
+- PRE no earlier than tRAS after its bank's ACT;
+- ACT no earlier than tRP after its bank's PRE;
+- at most four ACTs per subchannel in any tFAW window;
+- no bank command inside that bank's REF/RFM blackout;
+- no command inside a channel ALERT stall window;
+- data bursts non-overlapping on the shared bus.
+
+Integration tests run full workloads with the log enabled and assert
+zero violations -- the strongest evidence the event-free scheduler
+composes correctly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.params import DramTimings
+
+
+@dataclass
+class CommandLog:
+    """Everything a validator needs to re-check a run."""
+
+    acts: List[Tuple[int, int]] = field(default_factory=list)
+    """(time, bank) for every ACT."""
+
+    precharges: List[Tuple[int, int]] = field(default_factory=list)
+    """(time, bank) for every PRE (explicit or auto-close)."""
+
+    refreshes: List[Tuple[int, int]] = field(default_factory=list)
+    """(start, end) of every all-bank REF blackout."""
+
+    rfms: List[Tuple[int, int, int]] = field(default_factory=list)
+    """(start, end, bank) of every RFM blackout."""
+
+    stalls: List[Tuple[int, int]] = field(default_factory=list)
+    """(start, end) of every channel-wide ALERT stall."""
+
+    bursts: List[Tuple[int, int]] = field(default_factory=list)
+    """(start, end) of every data-bus occupancy."""
+
+    def record_act(self, time: int, bank: int) -> None:
+        """Log an ACT issue."""
+        self.acts.append((time, bank))
+
+    def record_precharge(self, time: int, bank: int) -> None:
+        """Log a PRE issue."""
+        self.precharges.append((time, bank))
+
+    def record_ref(self, start: int, end: int) -> None:
+        """Log an all-bank REF blackout window."""
+        self.refreshes.append((start, end))
+
+    def record_rfm(self, start: int, end: int, bank: int) -> None:
+        """Log a per-bank RFM blackout window."""
+        self.rfms.append((start, end, bank))
+
+    def record_stall(self, start: int, end: int) -> None:
+        """Log a channel ALERT stall window."""
+        self.stalls.append((start, end))
+
+    def record_burst(self, start: int, end: int) -> None:
+        """Log a data-bus burst occupancy."""
+        self.bursts.append((start, end))
+
+
+class TimingValidator:
+    """Re-derives every DDR5 constraint over a :class:`CommandLog`."""
+
+    def __init__(self, timings: DramTimings) -> None:
+        self.timings = timings
+
+    def validate(self, log: CommandLog) -> List[str]:
+        """Return human-readable violation descriptions (empty = ok)."""
+        violations: List[str] = []
+        violations += self._check_trc(log)
+        violations += self._check_tras_trp(log)
+        violations += self._check_tfaw(log)
+        violations += self._check_blackouts(log)
+        violations += self._check_stalls(log)
+        violations += self._check_bus(log)
+        return violations
+
+    # ------------------------------------------------------------------
+    def _per_bank_acts(self, log: CommandLog) -> dict:
+        per_bank: dict = {}
+        for time, bank in log.acts:
+            per_bank.setdefault(bank, []).append(time)
+        for times in per_bank.values():
+            times.sort()
+        return per_bank
+
+    def _check_trc(self, log: CommandLog) -> List[str]:
+        out = []
+        for bank, times in self._per_bank_acts(log).items():
+            for a, b in zip(times, times[1:]):
+                if b - a < self.timings.tRC:
+                    out.append(
+                        f"tRC violation on bank {bank}: ACTs at "
+                        f"{a} and {b} ({b - a} ps apart)")
+        return out
+
+    def _check_tras_trp(self, log: CommandLog) -> List[str]:
+        out = []
+        per_bank_acts = self._per_bank_acts(log)
+        per_bank_pre: dict = {}
+        for time, bank in log.precharges:
+            per_bank_pre.setdefault(bank, []).append(time)
+        for bank, pres in per_bank_pre.items():
+            pres.sort()
+            acts = per_bank_acts.get(bank, [])
+            for pre in pres:
+                idx = bisect.bisect_right(acts, pre)
+                if idx:
+                    last_act = acts[idx - 1]
+                    if pre - last_act < self.timings.tRAS:
+                        out.append(
+                            f"tRAS violation on bank {bank}: PRE at "
+                            f"{pre}, ACT at {last_act}")
+            for act in acts:
+                idx = bisect.bisect_left(pres, act)
+                if idx:
+                    last_pre = pres[idx - 1]
+                    if act - last_pre < self.timings.tRP:
+                        out.append(
+                            f"tRP violation on bank {bank}: ACT at "
+                            f"{act}, PRE at {last_pre}")
+        return out
+
+    def _check_tfaw(self, log: CommandLog) -> List[str]:
+        out = []
+        times = sorted(t for t, _ in log.acts)
+        for i in range(len(times) - 4):
+            if times[i + 4] - times[i] < self.timings.tFAW:
+                out.append(
+                    f"tFAW violation: 5 ACTs within "
+                    f"{times[i + 4] - times[i]} ps starting {times[i]}")
+        return out
+
+    def _check_blackouts(self, log: CommandLog) -> List[str]:
+        out = []
+        ref_windows = sorted(log.refreshes)
+        starts = [s for s, _ in ref_windows]
+
+        def inside_ref(t: int) -> bool:
+            idx = bisect.bisect_right(starts, t)
+            return bool(idx) and t < ref_windows[idx - 1][1]
+
+        for time, bank in log.acts:
+            if inside_ref(time):
+                out.append(
+                    f"REF blackout violation: ACT to bank {bank} at "
+                    f"{time}")
+        per_bank_rfm: dict = {}
+        for start, end, bank in log.rfms:
+            per_bank_rfm.setdefault(bank, []).append((start, end))
+        for time, bank in log.acts:
+            for start, end in per_bank_rfm.get(bank, []):
+                if start <= time < end:
+                    out.append(
+                        f"RFM blackout violation: ACT to bank {bank} "
+                        f"at {time} during [{start}, {end})")
+        return out
+
+    def _check_stalls(self, log: CommandLog) -> List[str]:
+        out = []
+        windows = sorted(log.stalls)
+        starts = [s for s, _ in windows]
+        for time, bank in log.acts:
+            idx = bisect.bisect_right(starts, time)
+            if idx and time < windows[idx - 1][1]:
+                out.append(
+                    f"ALERT stall violation: ACT to bank {bank} at "
+                    f"{time} inside stall "
+                    f"[{windows[idx - 1][0]}, {windows[idx - 1][1]})")
+        return out
+
+    def _check_bus(self, log: CommandLog) -> List[str]:
+        out = []
+        bursts = sorted(log.bursts)
+        for (s1, e1), (s2, e2) in zip(bursts, bursts[1:]):
+            if s2 < e1:
+                out.append(
+                    f"bus overlap: bursts [{s1}, {e1}) and "
+                    f"[{s2}, {e2})")
+        return out

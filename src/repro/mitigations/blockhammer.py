@@ -1,0 +1,121 @@
+"""BlockHammer: throttle-based MC-side mitigation (HPCA 2021).
+
+BlockHammer takes the opposite approach to victim refresh: rate-limit
+the aggressor.  Counting Bloom filters estimate each row's activation
+count; rows whose estimate crosses a blacklist threshold have their
+activations *delayed* so that no row can legally reach the Rowhammer
+threshold within a refresh window.
+
+The MIRZA paper's related work notes why this cannot move in-DRAM:
+DRAM chips are deterministic devices and cannot delay a request by an
+arbitrary time -- only the memory controller can.  The implementation
+therefore exposes :meth:`required_delay_ps`, which the *controller*
+consults before issuing an ACT (see the tests for the wiring); it is
+not a :class:`~repro.mitigations.base.BankTracker` because it never
+mitigates -- it shapes traffic.
+
+Two counting Bloom filters rotate every half refresh window so stale
+counts age out (the published design's epoch scheme).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class CountingBloomFilter:
+    """A minimal counting Bloom filter over row numbers."""
+
+    def __init__(self, counters: int = 1024, hashes: int = 4,
+                 seed: int = 0x9E3779B9) -> None:
+        if counters < 1 or hashes < 1:
+            raise ValueError("need positive counters and hashes")
+        self.size = counters
+        self.hashes = hashes
+        self.seed = seed
+        self._counts: List[int] = [0] * counters
+
+    def _indices(self, row: int) -> List[int]:
+        out = []
+        h = row + 1
+        for i in range(self.hashes):
+            h = (h * self.seed + i * 0x85EBCA6B + 1) & 0xFFFFFFFF
+            out.append(h % self.size)
+        return out
+
+    def insert(self, row: int) -> None:
+        """Count one activation of ``row``."""
+        for idx in self._indices(row):
+            self._counts[idx] += 1
+
+    def estimate(self, row: int) -> int:
+        """Count-min style estimate: never underestimates."""
+        return min(self._counts[idx] for idx in self._indices(row))
+
+    def clear(self) -> None:
+        """Zero every counter (epoch rotation)."""
+        self._counts = [0] * self.size
+
+
+class BlockHammerThrottle:
+    """MC-side activation throttling with rotating Bloom epochs."""
+
+    def __init__(self, trh: int, trefw_ps: int,
+                 blacklist_fraction: float = 0.5,
+                 counters: int = 1024, hashes: int = 4) -> None:
+        if trh < 2:
+            raise ValueError("threshold too small to throttle")
+        self.trh = trh
+        self.trefw_ps = trefw_ps
+        self.blacklist_threshold = max(1, int(trh * blacklist_fraction))
+        # A blacklisted row may only sustain the *remaining* budget
+        # over the remaining window: space its ACTs evenly.
+        remaining_budget = max(1, trh - self.blacklist_threshold)
+        self.min_gap_ps = trefw_ps // (2 * remaining_budget)
+        self._filters = [CountingBloomFilter(counters, hashes, 0x9E37),
+                         CountingBloomFilter(counters, hashes, 0x85EB)]
+        self._epoch_start = 0
+        self._active = 0
+        self._last_blacklisted_act: dict = {}
+        self.throttled_acts = 0
+
+    def _rotate_epochs(self, now_ps: int) -> None:
+        half = self.trefw_ps // 2
+        while now_ps - self._epoch_start >= half:
+            self._epoch_start += half
+            self._active ^= 1
+            self._filters[self._active].clear()
+            self._last_blacklisted_act.clear()
+
+    def estimate(self, row: int) -> int:
+        """Combined estimate over both live epochs."""
+        return sum(f.estimate(row) for f in self._filters)
+
+    def required_delay_ps(self, row: int, now_ps: int) -> int:
+        """How long the controller must hold this ACT (0 = issue now)."""
+        self._rotate_epochs(now_ps)
+        if self.estimate(row) < self.blacklist_threshold:
+            return 0
+        last = self._last_blacklisted_act.get(row)
+        if last is None:
+            return 0
+        earliest = last + self.min_gap_ps
+        return max(0, earliest - now_ps)
+
+    def on_activate(self, row: int, now_ps: int) -> None:
+        """Record an issued ACT (after any required delay)."""
+        self._rotate_epochs(now_ps)
+        self._filters[self._active].insert(row)
+        if self.estimate(row) >= self.blacklist_threshold:
+            self._last_blacklisted_act[row] = now_ps
+            self.throttled_acts += 1
+
+    def max_acts_per_window(self) -> int:
+        """Worst-case ACTs any single row can land in one tREFW."""
+        budget = self.blacklist_threshold
+        paced = (self.trefw_ps // 2) // self.min_gap_ps
+        return budget + 2 * paced
+
+    def storage_bits(self, counter_bits: int = 10) -> int:
+        """SRAM bits for the two counting Bloom filters."""
+        return 2 * self._filters[0].size * counter_bits

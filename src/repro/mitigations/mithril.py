@@ -1,0 +1,91 @@
+"""Mithril: a Misra-Gries counter-summary tracker (HPCA 2022).
+
+Mithril keeps ``k`` (row, counter) entries per bank using the
+Misra-Gries frequent-items algorithm:
+
+- an activation to a tracked row increments its counter;
+- an activation to an untracked row claims a free entry, or, when the
+  table is full, *decrements every counter by the table minimum* and
+  replaces a zeroed entry (we implement the standard equivalent: adopt
+  the minimum entry's count).
+
+At each mitigation opportunity the row with the maximum counter is
+mitigated and its counter reset to the table minimum (mitigating does
+not licence forgetting the Misra-Gries undercount).  Because counts are
+sound lower bounds with bounded undercount, Mithril is *secure* -- but
+needs thousands of entries at low thresholds (4.5KB+ CAM per bank,
+Section I), which is exactly the storage cost MIRZA avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mitigations.base import BankTracker, MitigationSlotSource
+
+
+class MithrilTracker(BankTracker):
+    """Misra-Gries tracker mitigating the max entry every k REFs."""
+
+    name = "mithril"
+
+    def __init__(self, entries: int = 2048, refs_per_mitigation: int = 1,
+                 bits_per_counter: int = 11) -> None:
+        if entries < 1:
+            raise ValueError("need at least one entry")
+        self.entries = entries
+        self.refs_per_mitigation = refs_per_mitigation
+        self.bits_per_counter = bits_per_counter
+        self._table: Dict[int, int] = {}
+        self._last_mitigated: Dict[int, int] = {}
+        self._mitigation_seq = 0
+        self._refs_seen = 0
+        self.spills = 0
+
+    def _table_min(self) -> int:
+        return min(self._table.values()) if self._table else 0
+
+    def on_activate(self, row: int, now_ps: int) -> None:
+        if row in self._table:
+            self._table[row] += 1
+            return
+        if len(self._table) < self.entries:
+            self._table[row] = 1
+            return
+        # Misra-Gries replacement: adopt the minimum entry's count + 1.
+        # This keeps every counter an upper bound on the true count while
+        # the undercount stays bounded by the number of replacements.
+        floor = self._table_min()
+        victim = min(self._table, key=lambda r: (self._table[r], r))
+        del self._table[victim]
+        self._table[row] = floor + 1
+        self.spills += 1
+
+    def on_mitigation_slot(self, now_ps: int,
+                           source: MitigationSlotSource) -> List[int]:
+        if source is MitigationSlotSource.REF:
+            self._refs_seen += 1
+            if self._refs_seen % self.refs_per_mitigation:
+                return []
+        if not self._table:
+            return []
+        # Highest count wins; ties go to the least-recently-mitigated
+        # entry so the post-mitigation reset-to-floor cannot pin the
+        # selection on one row while others keep accruing.
+        row = max(self._table,
+                  key=lambda r: (self._table[r],
+                                 -self._last_mitigated.get(r, -1), -r))
+        # Reset to the running minimum rather than zero: the entry may
+        # still be undercounting by up to the Misra-Gries error floor.
+        self._table[row] = self._table_min()
+        self._mitigation_seq += 1
+        self._last_mitigated[row] = self._mitigation_seq
+        return [row]
+
+    def max_count(self) -> int:
+        """Largest tracked counter (used by the feinting-attack bench)."""
+        return max(self._table.values(), default=0)
+
+    def storage_bits(self) -> int:
+        """CAM bits: row id (17) + counter, per entry."""
+        return self.entries * (17 + self.bits_per_counter)

@@ -1,0 +1,77 @@
+"""QPRAC: PRAC with opportunistic proactive service (HPCA 2025).
+
+QPRAC keeps PRAC's per-row counters and ABO backstop but adds a small
+priority queue of the hottest rows, serviced *opportunistically* during
+regular REF slots: rows whose counters cross a low service threshold
+get mitigated for free under REF, so the ALERT threshold is almost
+never reached and the ABO path becomes a pure safety net.
+
+For the thresholds the MIRZA paper evaluates (TRHD >= 500) plain
+PRAC+ABO already triggers no ALERTs, so QPRAC behaves identically in
+the headline numbers (Section VII notes Panopticon/QPRAC "would yield
+similar results"); the implementation exists to make that claim
+testable and to support lower-threshold exploration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import heapq
+
+from repro.mitigations.base import MitigationSlotSource
+from repro.mitigations.prac import PracTracker
+from repro.params import AboTimings
+
+
+class QpracTracker(PracTracker):
+    """PRAC + a service queue drained opportunistically under REF."""
+
+    name = "qprac"
+
+    def __init__(self, trhd: int, abo: AboTimings = AboTimings(),
+                 alert_threshold: Optional[int] = None,
+                 service_threshold: Optional[int] = None,
+                 queue_entries: int = 4) -> None:
+        super().__init__(trhd, abo, alert_threshold)
+        self.service_threshold = (
+            service_threshold if service_threshold is not None
+            else max(1, self.alert_threshold // 2))
+        self.queue_entries = queue_entries
+        self._service_heap: List = []  # (-count, row)
+        self._queued = set()
+        self.proactive_mitigations = 0
+
+    def on_activate(self, row: int, now_ps: int) -> None:
+        super().on_activate(row, now_ps)
+        count = self._counters[row]
+        if count >= self.service_threshold and row not in self._queued \
+                and len(self._queued) < self.queue_entries:
+            heapq.heappush(self._service_heap, (-count, row))
+            self._queued.add(row)
+
+    def on_mitigation_slot(self, now_ps: int,
+                           source: MitigationSlotSource) -> List[int]:
+        if source is MitigationSlotSource.REF:
+            # Opportunistic service: drain the hottest queued row.
+            while self._service_heap:
+                _, row = heapq.heappop(self._service_heap)
+                self._queued.discard(row)
+                if self._counters.get(row, 0) >= self.service_threshold:
+                    self._counters[row] = 0
+                    if row in self._over_threshold:
+                        self._over_threshold.remove(row)
+                    self.proactive_mitigations += 1
+                    return [row]
+            return []
+        rows = super().on_mitigation_slot(now_ps, source)
+        for row in rows:
+            self._queued.discard(row)
+        return rows
+
+    def on_ref_slice(self, slice_, now_ps: int) -> None:
+        super().on_ref_slice(slice_, now_ps)
+        self._queued = {r for r in self._queued if r in self._counters}
+        self._service_heap = [(-self._counters[r], r)
+                              for r in self._queued]
+        heapq.heapify(self._service_heap)

@@ -1,0 +1,66 @@
+"""DDR4-style Targeted Row Refresh: a small, breakable counter table.
+
+Reverse engineering showed DDR4 TRR trackers hold 4-28 entries per bank
+(Section X).  We model the common "capture the most-activated rows"
+shape: a table of (row, count); an activation increments its row's entry
+or claims a free/minimum slot.  One aggressor is mitigated per
+``refs_per_mitigation`` REF commands (proactive, borrowing REF time).
+
+TRR is **insecure**: patterns with more decoy rows than table entries
+(Blacksmith/TRRespass-style) evict the true aggressor, which the
+security tests demonstrate by driving
+:func:`repro.security.attacks.trr_evasion_pattern` against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.mitigations.base import BankTracker, MitigationSlotSource
+
+
+class TrrTracker(BankTracker):
+    """A 28-entry activation-count table mitigating under REF."""
+
+    name = "trr"
+
+    def __init__(self, entries: int = 28, refs_per_mitigation: int = 4,
+                 mitigation_threshold: int = 32) -> None:
+        if entries < 1:
+            raise ValueError("need at least one table entry")
+        self.entries = entries
+        self.refs_per_mitigation = refs_per_mitigation
+        self.mitigation_threshold = mitigation_threshold
+        self._table: Dict[int, int] = {}
+        self._refs_seen = 0
+
+    def on_activate(self, row: int, now_ps: int) -> None:
+        if row in self._table:
+            self._table[row] += 1
+            return
+        if len(self._table) < self.entries:
+            self._table[row] = 1
+            return
+        # Replace the minimum-count entry: the classic exploitable move.
+        victim = min(self._table, key=lambda r: (self._table[r], r))
+        del self._table[victim]
+        self._table[row] = 1
+
+    def on_mitigation_slot(self, now_ps: int,
+                           source: MitigationSlotSource) -> List[int]:
+        if source is not MitigationSlotSource.REF:
+            return []
+        self._refs_seen += 1
+        if self._refs_seen % self.refs_per_mitigation:
+            return []
+        if not self._table:
+            return []
+        row = max(self._table, key=lambda r: (self._table[r], -r))
+        if self._table[row] < self.mitigation_threshold:
+            return []
+        del self._table[row]
+        return [row]
+
+    def storage_bits(self) -> int:
+        """28 entries x 3 bytes (row id + counter), per Table XII."""
+        return self.entries * 24

@@ -1,0 +1,69 @@
+"""Security models, attack kernels, and storage/area accounting.
+
+- :mod:`repro.security.mint_model`  -- analytic tolerated-TRH model for
+  MINT's uniform random sampling (calibrated to the public MINT model).
+- :mod:`repro.security.mirza_model` -- MIRZA's phase A-D safe-TRH
+  accounting (Section VI) and the configuration solver behind Table VII.
+- :mod:`repro.security.analysis`    -- proactive-tracker tolerated-TRH vs
+  mitigation rate (Table II) with refresh-cannibalisation accounting.
+- :mod:`repro.security.area`        -- SRAM/DRAM cell-area model
+  (Tables VII, X, XII).
+- :mod:`repro.security.attacks`     -- adversarial activation-stream
+  generators and the attack verification harness.
+"""
+
+from repro.security.analysis import (
+    acts_per_ref_interval,
+    mint_trh_for_mitigation_rate,
+    refresh_cannibalization,
+)
+from repro.security.area import (
+    AreaModel,
+    mirza_storage_bytes_per_bank,
+    prac_counter_bits_for_trhd,
+)
+from repro.security.lifetime import (
+    attack_success_probability,
+    lifetime_report,
+    mean_time_to_failure_years,
+    required_exponent,
+)
+from repro.security.mint_model import (
+    MINT_FAILURE_EXPONENT,
+    mint_tolerated_trhd,
+    mint_tolerated_trhs,
+    mint_window_for_trhd,
+)
+from repro.security.mirza_model import (
+    abo_extra_acts,
+    mirza_safe_trhd,
+    mirza_safe_trhs,
+    solve_fth,
+)
+from repro.security.montecarlo import (
+    empirical_bound_check,
+    escape_probability,
+)
+
+__all__ = [
+    "AreaModel",
+    "MINT_FAILURE_EXPONENT",
+    "abo_extra_acts",
+    "acts_per_ref_interval",
+    "attack_success_probability",
+    "empirical_bound_check",
+    "escape_probability",
+    "lifetime_report",
+    "mean_time_to_failure_years",
+    "mint_tolerated_trhd",
+    "mint_tolerated_trhs",
+    "mint_trh_for_mitigation_rate",
+    "mint_window_for_trhd",
+    "mirza_safe_trhd",
+    "mirza_safe_trhs",
+    "mirza_storage_bytes_per_bank",
+    "prac_counter_bits_for_trhd",
+    "refresh_cannibalization",
+    "required_exponent",
+    "solve_fth",
+]

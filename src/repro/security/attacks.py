@@ -1,0 +1,125 @@
+"""Attack verification harness: tracker vs ground-truth oracle.
+
+:class:`SingleBankHarness` drives a bare activation stream (no timing
+model, one logical ACT per tRC) into one bank, its tracker, and the
+ground-truth row oracle, while modelling the pieces of the protocol an
+attacker can exploit:
+
+- demand refresh every ``acts_per_ref`` activations (the REF sweep the
+  RCT safe-reset synchronises with);
+- the ABO prologue: after a tracker asserts ALERT, the attacker lands
+  ``acts_during_prologue`` more activations before the stall, and one
+  mandatory epilogue ACT before the next ALERT (Phase D / Figure 10);
+- proactive REF-slot mitigations for REF-paced trackers.
+
+Security tests drive adversarial streams through the harness and assert
+on ``max_unmitigated`` -- the oracle's worst per-row count -- against
+the configured Rowhammer threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dram.bank import Bank
+from repro.dram.mapping import RowToSubarrayMapping
+from repro.dram.refresh import RefreshScheduler
+from repro.mitigations.base import BankTracker, MitigationSlotSource
+from repro.params import SystemConfig
+from repro.security.analysis import acts_per_ref_interval
+
+
+class SingleBankHarness:
+    """ACT-granularity security test bench for one bank + tracker."""
+
+    def __init__(self, tracker: BankTracker,
+                 config: SystemConfig = SystemConfig(),
+                 mapping: Optional[RowToSubarrayMapping] = None,
+                 refs_per_window: Optional[int] = None,
+                 blast_radius: int = 2,
+                 acts_per_ref: Optional[int] = None) -> None:
+        self.tracker = tracker
+        self.config = config
+        if mapping is None:
+            # Mapping-aware trackers (MIRZA) must see the same
+            # row-to-subarray placement as the bank and the refresh
+            # sweep -- otherwise oracle resets and RCT resets drift
+            # apart and the measurement is meaningless.
+            mapping = getattr(tracker, "mapping", None)
+        self.bank = Bank(0, config.geometry, mapping)
+        self.refresh = RefreshScheduler(config.geometry, self.bank.mapping,
+                                        refs_per_window)
+        self.blast_radius = blast_radius
+        self.acts_per_ref = (acts_per_ref if acts_per_ref is not None
+                             else acts_per_ref_interval(config.timings))
+        self.abo = config.abo
+        self.acts = 0
+        self.alerts = 0
+        self.mitigations = 0
+        self._acts_since_ref = 0
+        self._acts_since_alert = 1
+        self._alert_countdown: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _now(self) -> int:
+        return self.acts * self.config.timings.tRC
+
+    def activate(self, row: int) -> None:
+        """One attacker-controlled activation."""
+        now = self._now()
+        self.bank.activate(row)
+        self.tracker.on_activate(row, now)
+        self.acts += 1
+        self._acts_since_alert += 1
+        self._acts_since_ref += 1
+        if self._acts_since_ref >= self.acts_per_ref:
+            self._do_ref(now)
+        if self._alert_countdown is not None:
+            self._alert_countdown -= 1
+            if self._alert_countdown <= 0:
+                self._service_alert(now)
+        elif (self.tracker.wants_alert()
+              and self._acts_since_alert > self.abo.epilogue_acts):
+            # ALERT asserts now; the attacker still lands the prologue
+            # activations before the stall begins.
+            self._alert_countdown = self.abo.acts_during_prologue
+
+    def run(self, stream: Iterable[int]) -> None:
+        """Feed a whole activation stream through the harness."""
+        for row in stream:
+            self.activate(row)
+
+    def flush_alert(self) -> None:
+        """Service a pending ALERT without further attacker ACTs."""
+        if self._alert_countdown is not None or self.tracker.wants_alert():
+            self._service_alert(self._now())
+
+    # ------------------------------------------------------------------
+    def _do_ref(self, now: int) -> None:
+        self._acts_since_ref = 0
+        slice_ = self.refresh.advance()
+        self.bank.refresh_rows(slice_.logical_rows)
+        self.tracker.on_ref_slice(slice_, now)
+        for row in self.tracker.on_mitigation_slot(
+                now, MitigationSlotSource.REF):
+            self.bank.mitigate(row, self.blast_radius)
+            self.mitigations += 1
+
+    def _service_alert(self, now: int) -> None:
+        self._alert_countdown = None
+        self._acts_since_alert = 0
+        self.alerts += 1
+        for row in self.tracker.on_mitigation_slot(
+                now, MitigationSlotSource.ALERT):
+            self.bank.mitigate(row, self.blast_radius)
+            self.mitigations += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def max_unmitigated(self) -> int:
+        """Worst per-row unmitigated ACT count ever observed (oracle)."""
+        return self.bank.oracle.max_unmitigated
+
+    def attack_succeeded(self, threshold: int) -> bool:
+        """Ground truth: did any row ever exceed ``threshold``?"""
+        return self.bank.oracle.attack_succeeded(threshold)

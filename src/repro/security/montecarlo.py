@@ -1,0 +1,107 @@
+"""Monte Carlo validation of the analytic MINT security model.
+
+The analytic model (:mod:`repro.security.mint_model`) bounds the
+unmitigated activations an attacker sustains against MINT's sampling.
+This module cross-checks it empirically:
+
+- :func:`escape_probability` measures the chance a row hammered ``d``
+  times per window survives ``m`` windows unselected, against the
+  closed form ``(1 - d/W) ** m``;
+- :func:`max_unmitigated_distribution` plays the focused-hammer game
+  many times and reports the empirical distribution of the worst
+  unmitigated count, whose high quantiles must sit below the analytic
+  bound at the corresponding failure probability.
+
+Both are used by tests and by the Table II bench's self-check.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.core.mint import MintSampler
+from repro.security.mint_model import mint_unmitigated_bound
+
+
+def escape_probability(window: int, acts_per_window: int,
+                       windows: int, trials: int = 2000,
+                       seed: int = 0) -> float:
+    """Empirical probability the target escapes all selections."""
+    if not 1 <= acts_per_window <= window:
+        raise ValueError("acts_per_window must be in [1, window]")
+    rng = random.Random(seed)
+    escapes = 0
+    for _ in range(trials):
+        sampler = MintSampler(window, random.Random(rng.getrandbits(32)))
+        escaped = True
+        for _ in range(windows):
+            for position in range(window):
+                row = 1 if position < acts_per_window else 1000 + position
+                if sampler.observe(row) == 1:
+                    escaped = False
+        if escaped:
+            escapes += 1
+    return escapes / trials
+
+
+def analytic_escape_probability(window: int, acts_per_window: int,
+                                windows: int) -> float:
+    """The closed form the model is built on."""
+    return (1.0 - acts_per_window / window) ** windows
+
+
+def max_unmitigated_distribution(window: int, acts_per_window: int = 1,
+                                 horizon_acts: int = 50_000,
+                                 trials: int = 200,
+                                 seed: int = 0) -> List[int]:
+    """Worst unmitigated count per trial for a focused hammer.
+
+    The attacker lands ``acts_per_window`` activations on the target
+    per MINT window (the rest go to decoys); a selection mitigates the
+    target and resets its count.  Returns one maximum per trial.
+    """
+    rng = random.Random(seed)
+    results = []
+    windows = max(1, horizon_acts // window)
+    for _ in range(trials):
+        sampler = MintSampler(window,
+                              random.Random(rng.getrandbits(32)))
+        count = 0
+        worst = 0
+        for _ in range(windows):
+            for position in range(window):
+                if position < acts_per_window:
+                    count += 1
+                    worst = max(worst, count)
+                    if sampler.observe(1) == 1:
+                        count = 0
+                else:
+                    sampler.observe(1000 + position)
+        results.append(worst)
+    return results
+
+
+def empirical_bound_check(window: int, fail_exponent: float,
+                          horizon_acts: int = 50_000,
+                          trials: int = 300, seed: int = 0) -> dict:
+    """Compare the analytic bound with the empirical distribution.
+
+    Returns the analytic bound at ``2**-fail_exponent``, the empirical
+    maximum over the trials, and the implied empirical exponent of the
+    observed maximum (how unlikely the analytic model says it was).
+    """
+    bound = mint_unmitigated_bound(window, fail_exponent)
+    observed = max_unmitigated_distribution(
+        window, horizon_acts=horizon_acts, trials=trials, seed=seed)
+    worst = max(observed)
+    # Invert the bound: exponent k such that N(W, k) == worst.
+    escape = 1.0 - 1.0 / window
+    implied = worst * -math.log(escape) / math.log(2)
+    return {
+        "analytic_bound": bound,
+        "empirical_max": worst,
+        "implied_exponent": implied,
+        "trials": trials,
+    }

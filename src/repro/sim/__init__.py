@@ -1,0 +1,34 @@
+"""Experiment runner: (workload x mitigation) -> measurements.
+
+:mod:`repro.sim.runner` builds fully-wired systems for each mitigation
+configuration the paper evaluates and caches unprotected baselines so
+slowdowns are always measured against the same run.
+:mod:`repro.sim.stats` holds the small numeric/table helpers the
+experiment modules share.
+"""
+
+from repro.sim.runner import (
+    MitigationSetup,
+    baseline_setup,
+    mint_rfm_setup,
+    mirza_setup,
+    naive_mirza_setup,
+    prac_setup,
+    run_workload,
+    slowdown_for,
+)
+from repro.sim.stats import format_table, geometric_mean, mean
+
+__all__ = [
+    "MitigationSetup",
+    "baseline_setup",
+    "format_table",
+    "geometric_mean",
+    "mean",
+    "mint_rfm_setup",
+    "mirza_setup",
+    "naive_mirza_setup",
+    "prac_setup",
+    "run_workload",
+    "slowdown_for",
+]

@@ -1,0 +1,61 @@
+"""Small statistics and table-formatting helpers for experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty input)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Iterable[float]) -> float:
+    """Population standard deviation."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table in the style of the paper's tables."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,43 @@
+"""Workloads: Table IV descriptors, synthetic traces, attack kernels.
+
+The paper evaluates 24 workloads (SPEC-2017 with MPKI >= 1, the six GAP
+graph kernels, and six mixes).  We reproduce each as a synthetic trace
+generator calibrated to the workload's published characteristics --
+L3 MPKI, ACT-PKI, bus utilisation, and the mean/std of activations per
+subarray per refresh window -- since those four statistics are exactly
+what every result in the paper is a function of (see DESIGN.md).
+"""
+
+from repro.workloads.attacks import (
+    benign_striped_trace,
+    double_sided_attack_stream,
+    feinting_attack_stream,
+    performance_attack_trace,
+    trr_evasion_pattern,
+    worst_case_single_bank_stream,
+)
+from repro.workloads.specs import (
+    ALL_WORKLOADS,
+    GAP_WORKLOADS,
+    MIX_WORKLOADS,
+    SPEC_WORKLOADS,
+    WorkloadSpec,
+    workload_by_name,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "GAP_WORKLOADS",
+    "MIX_WORKLOADS",
+    "SPEC_WORKLOADS",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "benign_striped_trace",
+    "double_sided_attack_stream",
+    "feinting_attack_stream",
+    "performance_attack_trace",
+    "trr_evasion_pattern",
+    "workload_by_name",
+    "worst_case_single_bank_stream",
+]

@@ -1,0 +1,127 @@
+"""Adversarial activation patterns from the paper.
+
+Two forms are provided for each pattern:
+
+- *streams* -- bare ``(row)`` iterators for driving a tracker directly
+  in security tests (no timing model needed);
+- *trace factories* -- :class:`repro.cpu.trace.TraceEntry` iterators for
+  full-system runs (the Table XI performance attack).
+
+Patterns:
+
+- :func:`double_sided_attack_stream` -- the classic sandwich: hammer the
+  two physical neighbours of a victim row.
+- :func:`worst_case_single_bank_stream` -- maximum-rate activations
+  focused on one bank (the 621K-ACTs-per-tREFW bound of Figure 6).
+- :func:`feinting_attack_stream` -- round-robin over slightly more rows
+  than a counter tracker can hold, the pattern that defines Mithril's
+  tolerated threshold (Table II) and breaks TRR.
+- :func:`performance_attack_trace` -- Figure 12's kernel: prime one RCT
+  region past FTH with a circular pattern of K rows, then keep
+  hammering so every MINT window produces a selection and an ALERT.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional
+
+from repro.cpu.trace import TraceEntry
+from repro.dram.mapping import RowToSubarrayMapping
+from repro.params import SystemConfig, ns
+
+
+def double_sided_attack_stream(victim_row: int,
+                               mapping: RowToSubarrayMapping,
+                               acts: int) -> Iterator[int]:
+    """Alternate activations of the victim's two physical neighbours."""
+    neighbors = mapping.physical_neighbors(victim_row, blast_radius=1)
+    if len(neighbors) < 2:
+        raise ValueError("victim row has fewer than two neighbours")
+    pair = neighbors[:2]
+    for i in range(acts):
+        yield pair[i % 2]
+
+
+def worst_case_single_bank_stream(rows: List[int], acts: int
+                                  ) -> Iterator[int]:
+    """Max-rate circular activations over ``rows`` in one bank."""
+    if not rows:
+        raise ValueError("need at least one row")
+    cycle = itertools.cycle(rows)
+    for _ in range(acts):
+        yield next(cycle)
+
+
+def feinting_attack_stream(tracker_entries: int, acts: int,
+                           base_row: int = 0,
+                           decoys: Optional[int] = None) -> Iterator[int]:
+    """Round-robin over ``entries + decoys`` rows to starve a counter
+    tracker: every row's count rises in lock-step, so the mitigate-max
+    policy lets each row climb as high as possible before being picked.
+    """
+    count = tracker_entries + (decoys if decoys is not None
+                               else max(1, tracker_entries // 8))
+    rows = [base_row + i for i in range(count)]
+    cycle = itertools.cycle(rows)
+    for _ in range(acts):
+        yield next(cycle)
+
+
+def trr_evasion_pattern(table_entries: int, target_row: int,
+                        acts: int, rng: Optional[random.Random] = None
+                        ) -> Iterator[int]:
+    """Blacksmith-style pattern: keep the target's count low in the TRR
+    table by interleaving bursts to fresh decoy rows that evict it."""
+    rng = rng if rng is not None else random.Random(7)
+    decoy_base = target_row + 1000
+    emitted = 0
+    while emitted < acts:
+        yield target_row
+        emitted += 1
+        # A burst of one-hit decoys churns the table's low-count entries
+        # and keeps the target looking cold when it is re-inserted.
+        for i in range(min(table_entries + 4, acts - emitted)):
+            yield decoy_base + rng.randrange(10 * table_entries)
+            emitted += 1
+
+
+def performance_attack_trace(config: SystemConfig,
+                             k_rows: int,
+                             bank: int = 0,
+                             subchannel: int = 0,
+                             region_base_row: int = 0,
+                             row_stride: int = 1) -> Iterator[TraceEntry]:
+    """Figure 12's DoS kernel as a core trace.
+
+    Continuously activates a circular pattern of ``k_rows`` distinct
+    rows mapping to the same RCT region, back-to-back (zero compute):
+    the region primes past FTH quickly, after which every escaping ACT
+    participates in MINT and ALERTs fire at the maximum sustainable
+    rate.  ``row_stride`` lets callers follow the row-to-subarray
+    mapping so all K rows land in one region.
+    """
+    if k_rows < 1:
+        raise ValueError("need at least one row")
+    rows = [region_base_row + i * row_stride for i in range(k_rows)]
+    compute = ns(0.25)
+    for row in itertools.cycle(rows):
+        yield TraceEntry(compute_ps=compute, instructions=1,
+                         subchannel=subchannel, bank=bank, row=row)
+
+
+def benign_striped_trace(config: SystemConfig,
+                         banks: int = 16,
+                         subchannel: int = 0,
+                         rows_per_bank_ws: int = 4096,
+                         seed: int = 11) -> Iterator[TraceEntry]:
+    """Section IX-A's benign victim: reads striped over ``banks`` banks,
+    each access a fresh activation, issued as fast as DRAM allows."""
+    rng = random.Random(seed)
+    compute = ns(0.25)
+    bank_cycle = itertools.cycle(range(banks))
+    for bank in bank_cycle:
+        row = rng.randrange(rows_per_bank_ws)
+        yield TraceEntry(compute_ps=compute, instructions=1,
+                         subchannel=subchannel, bank=bank, row=row)

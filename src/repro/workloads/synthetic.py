@@ -1,0 +1,160 @@
+"""Synthetic workload traces calibrated to Table IV.
+
+The generator reproduces the four statistics the paper's results depend
+on (see DESIGN.md):
+
+- **rate**: row visits are paced so the total activations per bank per
+  (scaled) refresh window match ``acts_per_subarray_mean * 128``;
+- **row-buffer locality**: each row visit emits ``miss_burst``
+  consecutive same-row misses, reproducing the MPKI/ACT-PKI ratio;
+- **spatial locality**: each bank's working set is a *contiguous* block
+  of logical rows (the clock-style paging of Section III-A allocates
+  consecutive physical pages), which is what makes Sequential vs
+  Strided row-to-subarray mapping behave so differently (Table VI);
+- **spread (sigma)**: a fraction of visits target a fixed set of hot
+  rows scattered through the working set, reproducing the published
+  per-subarray standard deviation under strided mapping.
+
+Pacing model: with a target inter-miss time ``tau`` per core, the core
+is given ``compute = max(eps, tau - L/mlp)`` of work per miss and
+``mlp = round(L / tau)`` outstanding misses, where ``L`` is the
+estimated loaded DRAM latency; bandwidth-bound workloads are then
+limited by memory (through the MLP cap) and lighter ones by compute,
+just as in the real system.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.cpu.trace import TraceEntry
+from repro.params import SimScale, SystemConfig, ns
+from repro.workloads.specs import WorkloadSpec
+
+_LOADED_LATENCY_PS = ns(80)
+"""Estimated loaded DRAM round trip used for pacing calibration."""
+
+_MIN_COMPUTE_PS = ns(0.25)
+
+
+class SyntheticWorkload:
+    """Trace factory for one Table IV workload."""
+
+    def __init__(self, spec: WorkloadSpec,
+                 config: SystemConfig = SystemConfig(),
+                 scale: SimScale = SimScale(),
+                 ws_rows: int = 4096,
+                 hot_rows: int = 184,
+                 bank_stickiness: float = 0.5,
+                 seed: int = 0) -> None:
+        self.spec = spec
+        self.config = config
+        self.scale = scale
+        self.ws_rows = ws_rows
+        self.hot_rows = hot_rows
+        self.bank_stickiness = bank_stickiness
+        self.seed = seed
+        geometry = config.geometry
+        window = scale.scaled_trefw(config.timings)
+        acts_per_bank = scale.scale_count(spec.acts_per_bank_per_window)
+        total_misses = (acts_per_bank * geometry.total_banks
+                        * spec.miss_burst)
+        misses_per_core = max(1.0, total_misses / config.num_cores)
+        self.target_inter_miss_ps = max(1, int(window / misses_per_core))
+        # Latency-hiding MLP: enough outstanding misses to sustain the
+        # target rate against the loaded DRAM latency, bounded by what
+        # the ROB can hold (one miss per `instructions_per_miss`
+        # entries, MSHR-capped at 16).  Memory-intensive workloads get a
+        # small MLP and stay latency-sensitive, which is what exposes
+        # PRAC's timing inflation just as on real cores.
+        rob_mlp = min(16, max(
+            1, config.rob_entries // spec.instructions_per_miss))
+        rate_mlp = max(1, round(
+            _LOADED_LATENCY_PS / self.target_inter_miss_ps))
+        self.mlp = min(rob_mlp, rate_mlp) if rate_mlp > 1 else 1
+        self.mlp = max(1, self.mlp)
+        self.compute_per_miss_ps = max(
+            _MIN_COMPUTE_PS,
+            self.target_inter_miss_ps - _LOADED_LATENCY_PS // self.mlp)
+
+    # ------------------------------------------------------------------
+    # Per-bank row placement
+    # ------------------------------------------------------------------
+    def _derived_seed(self, salt: int, subchannel: int, bank: int) -> int:
+        """Stable per-structure RNG seed (independent of PYTHONHASHSEED)."""
+        return (self.seed * 1_000_003 + salt * 8_191
+                + subchannel * 131 + bank + 1)
+
+    def _bank_base(self, subchannel: int, bank: int) -> int:
+        rows = self.config.geometry.rows_per_bank
+        rng = random.Random(self._derived_seed(1, subchannel, bank))
+        return rng.randrange(0, rows - self.ws_rows)
+
+    def _bank_hot_offsets(self, subchannel: int, bank: int) -> List[int]:
+        rng = random.Random(self._derived_seed(2, subchannel, bank))
+        count = min(self.hot_rows, self.ws_rows)
+        return rng.sample(range(self.ws_rows), count)
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+    def trace(self, core_id: int) -> Iterator[TraceEntry]:
+        """Infinite miss trace for one core (rate-mode copy)."""
+        spec = self.spec
+        geometry = self.config.geometry
+        rng = random.Random(self._derived_seed(3, core_id, 0))
+        hot_fraction = spec.hot_traffic_fraction
+        burst = spec.miss_burst
+        instructions = spec.instructions_per_miss
+        bases = {}
+        hots = {}
+        num_subch = geometry.subchannels
+        num_banks = geometry.banks_per_subchannel
+        compute = self.compute_per_miss_ps
+        prev_key = None
+        while True:
+            # Bank choice: with probability `bank_stickiness` the next
+            # visit returns to the previous bank with a *different* row,
+            # modelling page-conflict locality -- consecutive requests
+            # contending for one bank's row buffer.  These visits pay
+            # tRP + tRCD (and PRAC's inflated tRP/tRC), which is where
+            # PRAC's slowdown comes from on real machines.
+            if prev_key is not None and rng.random() < self.bank_stickiness:
+                subchannel, bank = prev_key
+            else:
+                subchannel = rng.randrange(num_subch)
+                bank = rng.randrange(num_banks)
+            key = (subchannel, bank)
+            prev_key = key
+            if key not in bases:
+                bases[key] = self._bank_base(subchannel, bank)
+                hots[key] = self._bank_hot_offsets(subchannel, bank)
+            if rng.random() < hot_fraction:
+                offset = hots[key][rng.randrange(len(hots[key]))]
+            else:
+                offset = rng.randrange(self.ws_rows)
+            row = bases[key] + offset
+            for i in range(burst):
+                if i == 0:
+                    # The visit's whole compute budget precedes its first
+                    # line; the budget is per-miss, so scale by the burst.
+                    jitter = rng.uniform(0.7, 1.3)
+                    gap = max(_MIN_COMPUTE_PS,
+                              int(compute * burst * jitter))
+                else:
+                    # Later lines of the same row visit are back-to-back:
+                    # they arrive within tRAS and hit the open row, which
+                    # is what makes ACT-PKI lower than MPKI.
+                    gap = _MIN_COMPUTE_PS
+                yield TraceEntry(
+                    compute_ps=gap,
+                    instructions=instructions,
+                    subchannel=subchannel,
+                    bank=bank,
+                    row=row,
+                )
+
+    def trace_factory(self):
+        """``core_id -> trace`` callable for :class:`MultiCoreSystem`."""
+        return self.trace

@@ -1,0 +1,82 @@
+"""Trace file I/O: bring-your-own-trace support.
+
+Users with real miss traces (from a cache simulator, a pintool, or
+DRAMSim-style front ends) can run them through the full system instead
+of the synthetic generators.  The format is deliberately trivial --
+one whitespace-separated record per line::
+
+    <compute_ps> <instructions> <subchannel> <bank> <row>
+
+with ``#`` comments and blank lines ignored.  Round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.cpu.trace import TraceEntry
+
+_FIELDS = 5
+
+
+def write_trace(entries: Iterable[TraceEntry],
+                target: Union[str, TextIO]) -> int:
+    """Write entries to a path or file object; returns entry count."""
+    own = isinstance(target, str)
+    handle = open(target, "w") if own else target
+    count = 0
+    try:
+        handle.write("# compute_ps instructions subchannel bank row\n")
+        for entry in entries:
+            handle.write(f"{entry.compute_ps} {entry.instructions} "
+                         f"{entry.subchannel} {entry.bank} "
+                         f"{entry.row}\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count
+
+
+def read_trace(source: Union[str, TextIO]) -> Iterator[TraceEntry]:
+    """Lazily parse a trace from a path or file object."""
+    own = isinstance(source, str)
+    handle = open(source) if own else source
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != _FIELDS:
+                raise ValueError(
+                    f"line {lineno}: expected {_FIELDS} fields, got "
+                    f"{len(parts)}: {line!r}")
+            try:
+                values = [int(p) for p in parts]
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: non-integer field in {line!r}") \
+                    from None
+            compute, instructions, subch, bank, row = values
+            if compute < 0 or instructions < 0 or subch < 0 \
+                    or bank < 0 or row < 0:
+                raise ValueError(
+                    f"line {lineno}: negative field in {line!r}")
+            yield TraceEntry(compute_ps=compute,
+                             instructions=instructions,
+                             subchannel=subch, bank=bank, row=row)
+    finally:
+        if own:
+            handle.close()
+
+
+def load_trace(source: Union[str, TextIO]) -> List[TraceEntry]:
+    """Materialise a whole trace file."""
+    return list(read_trace(source))
+
+
+def trace_from_string(text: str) -> List[TraceEntry]:
+    """Parse a trace from an in-memory string (tests, examples)."""
+    return load_trace(io.StringIO(text))

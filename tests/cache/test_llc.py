@@ -1,0 +1,81 @@
+"""Tests for the set-associative LLC."""
+
+import pytest
+
+from repro.cache.llc import SetAssociativeCache
+
+
+def small_cache(sets=4, ways=2, line=64):
+    return SetAssociativeCache(capacity_bytes=sets * ways * line,
+                               ways=ways, line_bytes=line)
+
+
+class TestSetAssociativeCache:
+    def test_rejects_uneven_capacity(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity_bytes=1000, ways=16)
+
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0)
+        assert c.access(0)
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_same_line_different_bytes_hit(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(63)
+
+    def test_lru_eviction(self):
+        c = small_cache(sets=1, ways=2)
+        c.access(0)
+        c.access(64)
+        c.access(128)  # evicts line 0
+        assert not c.access(0)
+
+    def test_lru_updated_on_hit(self):
+        c = small_cache(sets=1, ways=2)
+        c.access(0)
+        c.access(64)
+        c.access(0)      # 0 becomes MRU
+        c.access(128)    # evicts 64
+        assert c.access(0)
+        assert not c.access(64)
+
+    def test_sets_are_independent(self):
+        c = small_cache(sets=2, ways=1)
+        c.access(0)       # set 0
+        c.access(64)      # set 1
+        assert c.access(0)
+        assert c.access(64)
+
+    def test_miss_stream(self):
+        c = small_cache(sets=1, ways=1)
+        stream = [0, 0, 64, 0]
+        misses = list(c.miss_stream(stream))
+        assert misses == [0, 64, 0]
+
+    def test_mpki(self):
+        c = small_cache()
+        for addr in range(0, 64 * 100, 64):
+            c.access(addr)
+        assert c.mpki(10_000) == pytest.approx(10.0)
+        assert c.mpki(0) == 0.0
+
+    def test_reset_stats(self):
+        c = small_cache()
+        c.access(0)
+        c.reset_stats()
+        assert c.accesses == 0
+
+    def test_default_is_16mb_16way(self):
+        c = SetAssociativeCache()
+        assert c.num_sets == 16 * 1024 * 1024 // (16 * 64)
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        c = small_cache(sets=2, ways=2)  # 4 lines total
+        addresses = [i * 64 for i in range(8)]
+        for _ in range(3):
+            for a in addresses:
+                c.access(a)
+        assert c.hits == 0

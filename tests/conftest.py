@@ -1,0 +1,49 @@
+"""Shared fixtures: small geometries keep unit tests fast."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.params import DramGeometry, DramTimings, SystemConfig
+
+
+@pytest.fixture
+def small_geometry() -> DramGeometry:
+    """A 4K-row bank with 4 subarrays: big enough for every invariant,
+    small enough for exhaustive sweeps."""
+    return DramGeometry(
+        banks_per_subchannel=4,
+        subchannels=2,
+        rows_per_bank=4096,
+        rows_per_subarray=1024,
+        rows_per_ref=16,
+    )
+
+
+@pytest.fixture
+def tiny_geometry() -> DramGeometry:
+    """A 256-row bank with 4 subarrays of 64 rows."""
+    return DramGeometry(
+        banks_per_subchannel=2,
+        subchannels=1,
+        rows_per_bank=256,
+        rows_per_subarray=64,
+        rows_per_ref=16,
+    )
+
+
+@pytest.fixture
+def small_config(small_geometry: DramGeometry) -> SystemConfig:
+    return SystemConfig(geometry=small_geometry, num_cores=2)
+
+
+@pytest.fixture
+def timings() -> DramTimings:
+    return DramTimings()
+
+
+def make_geometry(**overrides) -> DramGeometry:
+    """Helper for tests needing one-off geometries."""
+    return dataclasses.replace(DramGeometry(), **overrides)

@@ -1,0 +1,104 @@
+"""Tests for MIRZA configuration and the Table VII solver."""
+
+import pytest
+
+from repro.core.config import MirzaConfig
+from repro.params import DramGeometry
+
+
+class TestPaperConfigs:
+    """Table VII, verbatim."""
+
+    @pytest.mark.parametrize("trhd,fth,window,regions,sram", [
+        (2000, 3330, 16, 64, 116.0),
+        (1000, 1500, 12, 128, 196.0),
+        (500, 660, 8, 256, 340.0),
+    ])
+    def test_preset_matches_table7(self, trhd, fth, window, regions,
+                                   sram):
+        cfg = MirzaConfig.paper_config(trhd)
+        assert cfg.fth == fth
+        assert cfg.mint_window == window
+        assert cfg.num_regions == regions
+        assert cfg.storage_bytes_per_bank == sram
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            MirzaConfig.paper_config(750)
+
+    def test_presets_are_safe(self):
+        for trhd in (500, 1000, 2000):
+            cfg = MirzaConfig.paper_config(trhd)
+            # The preset's safe threshold must be within rounding (the
+            # paper's FTH values differ from the solver's by < 1%).
+            assert cfg.safe_trhd() <= trhd * 1.01
+
+    def test_default_queue_parameters(self):
+        cfg = MirzaConfig.paper_config(1000)
+        assert cfg.queue_entries == 4
+        assert cfg.qth == 16
+
+
+class TestSolver:
+    @pytest.mark.parametrize("trhd,window,paper_fth", [
+        (2000, 16, 3330),
+        (1000, 12, 1500),
+        (500, 8, 660),
+    ])
+    def test_solved_fth_within_one_percent_of_paper(self, trhd, window,
+                                                    paper_fth):
+        cfg = MirzaConfig.solve(trhd, mint_window=window)
+        assert abs(cfg.fth - paper_fth) / paper_fth < 0.01
+
+    def test_solved_config_is_safe(self):
+        for trhd in (500, 1000, 2000, 4800):
+            cfg = MirzaConfig.solve(trhd)
+            assert cfg.is_safe(), trhd
+
+    def test_larger_window_means_lower_fth(self):
+        low = MirzaConfig.solve(1000, mint_window=8)
+        high = MirzaConfig.solve(1000, mint_window=16)
+        assert high.fth < low.fth
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(ValueError):
+            MirzaConfig.solve(100, mint_window=512)
+
+    def test_default_regions_follow_threshold(self):
+        assert MirzaConfig.solve(2000).num_regions == 64
+        assert MirzaConfig.solve(1000).num_regions == 128
+        assert MirzaConfig.solve(500).num_regions == 256
+
+
+class TestDerived:
+    def test_counter_bits(self):
+        assert MirzaConfig.paper_config(1000).counter_bits == 11
+        assert MirzaConfig.paper_config(2000).counter_bits == 12
+        assert MirzaConfig.paper_config(500).counter_bits == 10
+
+    def test_region_size(self):
+        cfg = MirzaConfig.paper_config(1000)
+        assert cfg.region_size(DramGeometry()) == 1024
+
+    def test_scaled_divides_fth_only(self):
+        cfg = MirzaConfig.paper_config(1000)
+        scaled = cfg.scaled(64)
+        assert scaled.fth == 1500 // 64
+        assert scaled.mint_window == cfg.mint_window
+        assert scaled.num_regions == cfg.num_regions
+        assert scaled.qth == cfg.qth
+
+    def test_scaled_identity(self):
+        cfg = MirzaConfig.paper_config(1000)
+        assert cfg.scaled(1) is cfg
+
+    def test_scaled_fth_floor_of_one(self):
+        cfg = MirzaConfig.paper_config(500)
+        assert cfg.scaled(10 ** 6).fth == 1
+
+    def test_storage_monotone_in_regions(self):
+        big = MirzaConfig(trhd=0, fth=1500, mint_window=12,
+                          num_regions=256)
+        small = MirzaConfig(trhd=0, fth=1500, mint_window=12,
+                            num_regions=64)
+        assert big.storage_bytes_per_bank > small.storage_bytes_per_bank

@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) on MIRZA's core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MirzaConfig
+from repro.core.mint import MintSampler
+from repro.core.mirza import MirzaTracker
+from repro.core.rct import RegionCountTable
+from repro.dram.mapping import SequentialR2SA, StridedR2SA
+from repro.dram.refresh import RefreshScheduler
+from repro.mitigations.base import MitigationSlotSource
+from repro.params import DramGeometry
+
+GEOMETRY = DramGeometry(banks_per_subchannel=2, subchannels=1,
+                        rows_per_bank=2048, rows_per_subarray=512,
+                        rows_per_ref=16)
+
+
+def build_tracker(fth, window, qth, queue, seed,
+                  mapping_cls=SequentialR2SA):
+    config = MirzaConfig(trhd=0, fth=fth, mint_window=window,
+                         num_regions=4, queue_entries=queue, qth=qth)
+    return MirzaTracker(config, GEOMETRY, mapping_cls(GEOMETRY),
+                        random.Random(seed))
+
+
+class TestRctInvariants:
+    @given(st.lists(st.integers(0, 2047), min_size=1, max_size=500),
+           st.integers(0, 50))
+    @settings(max_examples=60)
+    def test_filtered_plus_escaped_equals_total(self, rows, fth):
+        rct = RegionCountTable(4, fth, GEOMETRY)
+        for row in rows:
+            rct.on_activate(row)
+        assert rct.filtered_acts + rct.escaped_acts == len(rows)
+
+    @given(st.lists(st.integers(0, 2047), min_size=1, max_size=500),
+           st.integers(0, 50))
+    @settings(max_examples=60)
+    def test_counters_never_exceed_saturation(self, rows, fth):
+        rct = RegionCountTable(4, fth, GEOMETRY)
+        for row in rows:
+            rct.on_activate(row)
+        assert all(c <= fth + 1 for c in rct._counters)
+
+    @given(st.lists(st.integers(0, 2047), min_size=1, max_size=300))
+    @settings(max_examples=40)
+    def test_filtered_acts_bounded_by_regions_times_fth(self, rows):
+        fth = 10
+        rct = RegionCountTable(4, fth, GEOMETRY)
+        for row in rows:
+            rct.on_activate(row)
+        # Without resets, at most (FTH+1) ACTs filter per region.
+        assert rct.filtered_acts <= 4 * (fth + 1)
+
+    @given(st.integers(1, 40), st.data())
+    @settings(max_examples=40)
+    def test_reset_cycle_preserves_invariants(self, fth, data):
+        rct = RegionCountTable(4, fth, GEOMETRY)
+        scheduler = RefreshScheduler(GEOMETRY)
+        for _ in range(data.draw(st.integers(1, 200))):
+            if data.draw(st.booleans()):
+                rct.on_activate(data.draw(st.integers(0, 2047)))
+            else:
+                rct.on_ref_slice(scheduler.advance())
+            assert all(0 <= c <= fth + 1 for c in rct._counters)
+            assert 0 <= rct._rrc <= fth + 1
+
+
+class TestMintInvariants:
+    @given(st.integers(1, 32), st.integers(0, 2 ** 30),
+           st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_selection_count_exact(self, window, seed, windows):
+        sampler = MintSampler(window, random.Random(seed))
+        picked = 0
+        for i in range(window * windows):
+            if sampler.observe(i) is not None:
+                picked += 1
+        assert picked == windows
+
+
+class TestTrackerInvariants:
+    @given(st.lists(st.integers(0, 2047), min_size=1, max_size=400),
+           st.integers(0, 20), st.integers(4, 8), st.integers(1, 20),
+           st.integers(1, 4), st.integers(0, 2 ** 30))
+    @settings(max_examples=40)
+    def test_queue_and_counters_stay_legal(self, rows, fth, window,
+                                           qth, queue, seed):
+        tracker = build_tracker(fth, window, qth, queue, seed)
+        for i, row in enumerate(rows):
+            tracker.on_activate(row, i)
+            assert len(tracker.queue) <= queue
+            if tracker.wants_alert():
+                mitigated = tracker.on_mitigation_slot(
+                    i, MitigationSlotSource.ALERT)
+                assert len(mitigated) <= 1
+        # Conservation: every ACT is filtered, escaped-and-counted, or
+        # absorbed by a queued entry's tardiness counter.
+        rct = tracker.rct
+        assert rct.filtered_acts + rct.escaped_acts <= len(rows)
+
+    @given(st.integers(0, 2 ** 30))
+    @settings(max_examples=20)
+    def test_strided_and_sequential_agree_on_totals(self, seed):
+        rng = random.Random(seed)
+        rows = [rng.randrange(2048) for _ in range(300)]
+        totals = []
+        for mapping_cls in (SequentialR2SA, StridedR2SA):
+            tracker = build_tracker(5, 4, 8, 4, seed, mapping_cls)
+            for i, row in enumerate(rows):
+                tracker.on_activate(row, i)
+            totals.append(tracker.rct.filtered_acts
+                          + tracker.rct.escaped_acts
+                          + sum(tracker.queue._entries.values())
+                          - len(tracker.queue))
+        # The mapping redistributes ACTs over regions but never loses
+        # any: both observe the same activation count.
+        assert tracker.acts_observed == len(rows)

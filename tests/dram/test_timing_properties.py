@@ -1,0 +1,87 @@
+"""Property-based tests for the out-of-order timing trackers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.timing import BusTracker, FawTracker
+from repro.params import DramTimings
+
+
+class TestBusProperties:
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=80))
+    @settings(max_examples=100)
+    def test_no_two_slots_overlap(self, desired_times):
+        bus = BusTracker(DramTimings())
+        slots = []
+        for desired in desired_times:
+            end = bus.transfer(desired)
+            slots.append((end - DramTimings().tBURST, end))
+        slots.sort()
+        for (s1, e1), (s2, e2) in zip(slots, slots[1:]):
+            assert s2 >= e1
+
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=80))
+    @settings(max_examples=100)
+    def test_start_never_before_request(self, desired_times):
+        bus = BusTracker(DramTimings())
+        for desired in desired_times:
+            end = bus.transfer(desired)
+            assert end - DramTimings().tBURST >= desired
+
+    @given(st.lists(st.integers(0, 50_000), min_size=5, max_size=60))
+    @settings(max_examples=50)
+    def test_busy_time_conserved(self, desired_times):
+        bus = BusTracker(DramTimings())
+        for desired in desired_times:
+            bus.transfer(desired)
+        assert bus.busy_time == len(desired_times) * DramTimings().tBURST
+
+
+class TestFawProperties:
+    @given(st.lists(st.integers(0, 300_000), min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_no_five_acts_in_any_window_out_of_order(self, asks):
+        """The invariant holds even for out-of-order placement asks."""
+        timings = DramTimings()
+        faw = FawTracker(timings)
+        placed = []
+        for ask in asks:  # deliberately NOT sorted
+            t = faw.earliest_activate(ask)
+            faw.activate(t)
+            placed.append(t)
+        placed.sort()
+        for i in range(len(placed) - 4):
+            assert placed[i + 4] - placed[i] >= timings.tFAW
+
+    @given(st.lists(st.integers(0, 300_000), min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_placement_never_before_ask(self, asks):
+        faw = FawTracker(DramTimings())
+        for ask in asks:
+            t = faw.earliest_activate(ask)
+            assert t >= ask
+            faw.activate(t)
+
+    @given(st.lists(st.integers(0, 100_000), min_size=4, max_size=40),
+           st.integers(0, 100_000))
+    @settings(max_examples=60)
+    def test_release_before_is_safe_for_future_queries(self, asks,
+                                                       probe):
+        """Pruning with a lower bound on future query times never
+        admits an illegal placement afterwards."""
+        timings = DramTimings()
+        faw = FawTracker(timings)
+        placed = []
+        for ask in sorted(asks):
+            t = faw.earliest_activate(ask)
+            faw.activate(t)
+            placed.append(t)
+        watermark = max(placed)
+        faw.release_before(watermark)
+        ask = watermark + probe
+        t = faw.earliest_activate(ask)
+        faw.activate(t)
+        placed.append(t)
+        placed.sort()
+        for i in range(len(placed) - 4):
+            assert placed[i + 4] - placed[i] >= timings.tFAW

@@ -1,0 +1,81 @@
+"""Tests for the activation-counting experiment helpers (medium)."""
+
+import pytest
+
+from repro.experiments.common import (
+    CgfStats,
+    acts_per_subarray_for,
+    measure_cgf,
+    selected_workloads,
+)
+from repro.params import SimScale
+from repro.workloads.specs import workload_by_name
+
+FAST = SimScale(256)
+
+
+class TestSelectedWorkloads:
+    def test_default_subset(self):
+        specs = selected_workloads()
+        assert len(specs) >= 3
+        assert all(hasattr(s, "l3_mpki") for s in specs)
+
+    def test_explicit_names(self):
+        specs = selected_workloads(["cc", "tc"])
+        assert [s.name for s in specs] == ["cc", "tc"]
+
+
+class TestCgfStats:
+    def test_percentages(self):
+        stats = CgfStats(total_acts=200, filtered=150, escaped=50)
+        assert stats.filtered_pct == 75.0
+        assert stats.remaining_pct == 25.0
+
+    def test_empty(self):
+        stats = CgfStats(total_acts=0, filtered=0, escaped=0)
+        assert stats.filtered_pct == 0.0
+
+
+class TestMeasureCgf:
+    def test_counts_are_consistent(self):
+        spec = workload_by_name("tc")
+        stats = measure_cgf(spec, "strided", fth=5, scale=FAST)
+        assert stats.filtered + stats.escaped == stats.total_acts
+        assert stats.total_acts > 0
+
+    def test_strided_filters_more_than_sequential(self):
+        spec = workload_by_name("cc")
+        fth = SimScale(256).scale_threshold(1500)
+        strided = measure_cgf(spec, "strided", fth, scale=FAST)
+        sequential = measure_cgf(spec, "sequential", fth, scale=FAST)
+        assert strided.filtered_pct > sequential.filtered_pct
+
+    def test_higher_fth_filters_more(self):
+        spec = workload_by_name("cc")
+        low = measure_cgf(spec, "strided", 3, scale=FAST)
+        high = measure_cgf(spec, "strided", 30, scale=FAST)
+        assert high.filtered_pct >= low.filtered_pct
+
+    def test_zero_fth_escapes_most_acts(self):
+        # With FTH=0 only the first ACT of a region (per reset window)
+        # is filtered; at deep scaling regions see just a few ACTs
+        # each, so "most" rather than "almost all" escape.
+        spec = workload_by_name("cc")
+        stats = measure_cgf(spec, "strided", 0, scale=FAST)
+        assert stats.remaining_pct > 50.0
+
+
+class TestActsPerSubarray:
+    def test_mean_matches_spec_by_construction(self):
+        spec = workload_by_name("cc")
+        mean, std = acts_per_subarray_for(spec, FAST)
+        assert mean * 256 == pytest.approx(
+            spec.acts_per_subarray_mean, rel=0.05)
+        assert std >= 0.0
+
+    def test_light_workload_lower_than_heavy(self):
+        light, _ = acts_per_subarray_for(workload_by_name("blender"),
+                                         FAST)
+        heavy, _ = acts_per_subarray_for(workload_by_name("fotonik3d"),
+                                         FAST)
+        assert heavy > light

@@ -1,0 +1,128 @@
+"""Failure-injection tests: what happens when pieces misbehave.
+
+A production library must fail loudly and safely.  These tests inject
+broken trackers, hostile trace generators, and degenerate
+configurations into the full stack and assert the system either
+contains the damage or raises a clear error.
+"""
+
+import pytest
+
+from repro.cpu.system import MultiCoreSystem
+from repro.cpu.trace import TraceEntry
+from repro.dram.device import DramDevice
+from repro.mc.controller import MemoryController
+from repro.mitigations.base import BankTracker, MitigationSlotSource
+from repro.params import SystemConfig, ns
+
+
+class LyingTracker(BankTracker):
+    """Requests ALERTs but never produces anything to mitigate."""
+
+    name = "liar"
+
+    def on_activate(self, row, now_ps):
+        pass
+
+    def wants_alert(self):
+        return True
+
+    def on_mitigation_slot(self, now_ps, source):
+        return []
+
+
+class OutOfRangeTracker(BankTracker):
+    """Returns a row id outside the bank on mitigation."""
+
+    name = "out-of-range"
+
+    def __init__(self):
+        self.armed = False
+
+    def on_activate(self, row, now_ps):
+        self.armed = True
+
+    def wants_alert(self):
+        return self.armed
+
+    def on_mitigation_slot(self, now_ps, source):
+        if source is MitigationSlotSource.ALERT and self.armed:
+            self.armed = False
+            return [10 ** 9]
+        return []
+
+
+class TestLyingTracker:
+    def test_empty_alerts_do_not_wedge_the_channel(self, small_config):
+        """A tracker that cries wolf costs stalls but the epilogue-ACT
+        rule prevents an ALERT livelock."""
+        device = DramDevice(small_config,
+                            tracker_factory=lambda b: LyingTracker())
+        mc = MemoryController(small_config, device)
+        t = 0
+        for i in range(50):
+            result = mc.serve(i % 4, i * 7 % 512, t)
+            t = result.completion_time + ns(5)
+        # Progress was made despite constant alerting...
+        assert mc.total_requests == 50
+        # ...and alerts are paced at one per activation, not unbounded.
+        assert mc.alerts <= mc.total_activations
+
+    def test_wasted_alerts_counted(self, small_config):
+        device = DramDevice(small_config,
+                            tracker_factory=lambda b: LyingTracker())
+        mc = MemoryController(small_config, device)
+        mc.serve(0, 10, 0)
+        assert device.stats.alerts_serviced >= 1
+        assert device.stats.mitigations_total == 0
+
+
+class TestOutOfRangeMitigation:
+    def test_bad_row_id_raises_clearly(self, small_config):
+        device = DramDevice(small_config,
+                            tracker_factory=lambda b:
+                            OutOfRangeTracker())
+        mc = MemoryController(small_config, device)
+        with pytest.raises((ValueError, IndexError)):
+            mc.serve(0, 10, 0)
+
+
+class TestHostileTraces:
+    def test_trace_with_invalid_row_rejected(self, small_config):
+        def factory(core_id):
+            def gen():
+                yield TraceEntry(compute_ps=ns(1), instructions=1,
+                                 subchannel=0, bank=0,
+                                 row=small_config.geometry.rows_per_bank)
+            return gen()
+        system = MultiCoreSystem(small_config, factory, mlp=1)
+        with pytest.raises(ValueError):
+            system.run(ns(1_000_000))
+
+    def test_zero_compute_floods_are_paced_by_dram(self, small_config):
+        """A core issuing as fast as possible is throttled by timing
+        constraints, not runaway memory growth."""
+        def factory(core_id):
+            def gen():
+                i = 0
+                while True:
+                    yield TraceEntry(compute_ps=1, instructions=1,
+                                     subchannel=0, bank=i % 4,
+                                     row=(i * 131) % 512)
+                    i += 1
+            return gen()
+        system = MultiCoreSystem(small_config, factory, mlp=4)
+        result = system.run(ns(200_000))
+        # Bounded by the tFAW ceiling: 4 ACTs per 13.333 ns.
+        ceiling = int(200_000 / 13.333 * 4) + 16
+        assert result.total_activations <= ceiling
+
+
+class TestDegenerateWindows:
+    def test_empty_window(self, small_config):
+        def factory(core_id):
+            return iter(())
+        system = MultiCoreSystem(small_config, factory, mlp=1)
+        result = system.run(ns(100_000))
+        assert result.total_requests == 0
+        assert result.ipc == [0.0] * small_config.num_cores

@@ -1,0 +1,83 @@
+"""Tests for the RowPress-to-equivalent-ACTs mitigation option."""
+
+import pytest
+
+from repro.dram.device import DramDevice
+from repro.mc.controller import MemoryController
+from repro.mitigations.prac import PracTracker
+from repro.params import SystemConfig, ns
+
+
+def make(small_config, rowpress=True, tracker=None):
+    factory = (lambda b: tracker) if tracker is not None else None
+    device = DramDevice(small_config, factory)
+    mc = MemoryController(small_config, device,
+                          rowpress_to_acts=rowpress)
+    return mc, device
+
+
+class TestRowPressConversion:
+    def test_long_open_row_generates_equivalents(self, small_config):
+        mc, device = make(small_config)
+        mc.serve(0, 10, 0)
+        # Hits keep extending the soft-close window, pressing the row
+        # open for several tRAS periods before the conflict closes it.
+        mc.serve(0, 10, ns(20))
+        mc.serve(0, 10, ns(50))
+        mc.serve(0, 500, ns(80))  # conflict: precharge ends the press
+        assert device.stats.row_press_equivalents >= 1
+
+    def test_disabled_by_default(self, small_config):
+        mc, device = make(small_config, rowpress=False)
+        mc.serve(0, 10, 0)
+        mc.serve(0, 10, ns(20))
+        mc.serve(0, 500, ns(40))
+        assert device.stats.row_press_equivalents == 0
+
+    def test_short_open_time_has_no_equivalents(self, small_config):
+        mc, device = make(small_config)
+        mc.serve(0, 10, 0)
+        mc.serve(0, 500, ns(1))  # conflict right away: < 2x tRAS open
+        assert device.stats.row_press_equivalents == 0
+
+    def test_oracle_counts_equivalents(self, small_config):
+        mc, device = make(small_config)
+        mc.serve(0, 10, 0)
+        mc.serve(0, 10, ns(20))
+        mc.serve(0, 500, ns(40))
+        pressed = device.stats.row_press_equivalents
+        assert device.banks[0].oracle.max_unmitigated >= 1 + pressed
+
+    def test_tracker_sees_equivalents(self, small_config):
+        tracker = PracTracker(trhd=1000)
+        mc, device = make(small_config, tracker=tracker)
+        mc.serve(0, 10, 0)
+        mc.serve(0, 10, ns(20))
+        mc.serve(0, 500, ns(40))
+        pressed = device.stats.row_press_equivalents
+        assert tracker._counters.get(10, 0) == 1 + pressed
+
+    def test_equivalents_capped(self, small_config):
+        mc, device = make(small_config)
+        mc.serve(0, 10, 0)
+        # Keep the row open with hits for a very long time.
+        t = ns(20)
+        for _ in range(40):
+            mc.serve(0, 10, t)
+            t += ns(25)
+        mc.serve(0, 500, t)
+        assert device.stats.row_press_equivalents <= 16
+
+
+class TestDeviceNoteRowPress:
+    def test_zero_is_noop(self, small_config):
+        device = DramDevice(small_config)
+        device.note_row_press(0, 5, 0, 0)
+        assert device.stats.row_press_equivalents == 0
+
+    def test_counts_accumulate(self, small_config):
+        device = DramDevice(small_config)
+        device.note_row_press(0, 5, 3, 0)
+        device.note_row_press(1, 9, 2, 0)
+        assert device.stats.row_press_equivalents == 5
+        assert device.banks[0].oracle.count(5) == 3

@@ -1,0 +1,74 @@
+"""End-to-end timing legality: full runs produce zero violations.
+
+These are the strongest correctness tests of the event-free scheduler:
+a whole multi-core window is simulated with the command log attached,
+and the validator re-derives every DDR5 constraint over the complete
+command stream.
+"""
+
+import pytest
+
+from repro.cpu.system import MultiCoreSystem
+from repro.mc.validator import TimingValidator
+from repro.params import SimScale, SystemConfig
+from repro.sim.runner import (
+    baseline_setup,
+    calibrated_workload,
+    mint_rfm_setup,
+    mirza_setup,
+    prac_setup,
+)
+
+SCALE = SimScale(2048)
+
+
+def run_with_log(setup, workload="tc"):
+    config = SystemConfig()
+    sys_config = (config.with_prac_timings() if setup.use_prac_timings
+                  else config)
+    synthetic = calibrated_workload(workload, SCALE, 0, config)
+    tracker_factory = None
+    if setup.tracker_factory is not None:
+        tracker_factory = (
+            lambda subch, bank: setup.tracker_factory(0, subch, bank))
+    system = MultiCoreSystem(
+        sys_config,
+        trace_factory=synthetic.trace_factory(),
+        tracker_factory=tracker_factory,
+        mapping_factory=lambda: setup.make_mapping(sys_config),
+        rfm_bat=setup.rfm_bat,
+        refs_per_window=SCALE.scaled_refs_per_window(config.timings),
+        mlp=synthetic.mlp,
+        record_commands=True,
+    )
+    system.run(SCALE.scaled_trefw(config.timings))
+    return system, sys_config
+
+
+@pytest.mark.parametrize("setup_factory,name", [
+    (lambda: baseline_setup(), "baseline"),
+    (lambda: prac_setup(1000), "prac"),
+    (lambda: mint_rfm_setup(1000), "mint-rfm"),
+    (lambda: mirza_setup(1000, SCALE), "mirza"),
+])
+def test_full_run_has_no_timing_violations(setup_factory, name):
+    system, sys_config = run_with_log(setup_factory())
+    validator = TimingValidator(sys_config.timings)
+    for log in system.command_logs:
+        violations = validator.validate(log)
+        assert violations == [], f"{name}: {violations[:5]}"
+
+
+def test_logs_capture_real_traffic():
+    system, _ = run_with_log(baseline_setup())
+    total_acts = sum(len(log.acts) for log in system.command_logs)
+    total_refs = sum(len(log.refreshes) for log in system.command_logs)
+    assert total_acts > 100
+    assert total_refs > 0
+
+
+def test_mirza_run_logs_alert_stalls():
+    system, _ = run_with_log(mirza_setup(500, SCALE), workload="cc")
+    stalls = sum(len(log.stalls) for log in system.command_logs)
+    alerts = sum(mc.alerts for mc in system.mcs)
+    assert stalls == alerts

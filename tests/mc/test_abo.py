@@ -1,0 +1,109 @@
+"""Tests for ALERT-Back-Off handling and stall windows."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mc.abo import AboEngine, StallWindows
+from repro.params import AboTimings, ns
+
+
+class TestStallWindows:
+    def test_point_outside_windows_unchanged(self):
+        s = StallWindows()
+        s.add(100, 200)
+        assert s.adjust(50) == 50
+        assert s.adjust(250) == 250
+
+    def test_point_inside_window_slides_to_end(self):
+        s = StallWindows()
+        s.add(100, 200)
+        assert s.adjust(150) == 200
+        assert s.adjust(100) == 200
+
+    def test_overlapping_windows_merge(self):
+        s = StallWindows()
+        s.add(100, 200)
+        s.add(150, 300)
+        assert s.adjust(120) == 300
+        assert s.total_stall == 200
+
+    def test_empty_window_ignored(self):
+        s = StallWindows()
+        s.add(100, 100)
+        assert s.windows == []
+
+    def test_drop_before_prunes_history(self):
+        s = StallWindows()
+        s.add(100, 200)
+        s.add(500, 600)
+        s.drop_before(300)
+        assert s.windows == [(500, 600)]
+
+    @given(st.lists(st.tuples(st.integers(0, 10_000),
+                              st.integers(1, 500)),
+                    min_size=1, max_size=20),
+           st.integers(0, 12_000))
+    @settings(max_examples=100)
+    def test_adjusted_point_never_inside_any_window(self, spans, point):
+        s = StallWindows()
+        for start, length in sorted(spans):
+            s.add(start, start + length)
+        adjusted = s.adjust(point)
+        assert adjusted >= point
+        for start, end in s.windows:
+            assert not (start <= adjusted < end)
+
+
+class TestAboEngine:
+    def test_assert_creates_stall_window(self):
+        e = AboEngine(AboTimings())
+        start, end = e.assert_alert(ns(1000))
+        assert start == ns(1180)
+        assert end == ns(1530)
+        assert e.alerts_asserted == 1
+
+    def test_prologue_commands_still_issue(self):
+        e = AboEngine(AboTimings())
+        e.assert_alert(ns(1000))
+        # Commands before the stall window are unaffected.
+        assert e.stalls.adjust(ns(1100)) == ns(1100)
+        # Commands in the stall slide to its end.
+        assert e.stalls.adjust(ns(1200)) == ns(1530)
+
+    def test_epilogue_act_required_between_alerts(self):
+        e = AboEngine(AboTimings())
+        e.assert_alert(0)
+        assert not e.can_assert(ns(2000))
+        e.on_activate()
+        assert e.can_assert(ns(2000))
+
+    def test_no_alert_during_own_stall(self):
+        e = AboEngine(AboTimings())
+        _, end = e.assert_alert(0)
+        e.on_activate()
+        assert not e.can_assert(end - 1)
+        assert e.can_assert(end)
+
+    def test_maybe_assert_respects_pending_flag(self):
+        e = AboEngine(AboTimings())
+        assert e.maybe_assert(False, 0) is None
+        assert e.maybe_assert(True, 0) is not None
+
+    def test_maybe_assert_blocked_returns_none(self):
+        e = AboEngine(AboTimings())
+        e.assert_alert(0)
+        assert e.maybe_assert(True, 10) is None
+
+    def test_back_to_back_alert_cadence(self):
+        # With the mandatory epilogue ACT, ALERTs are at least one
+        # stall apart: the Figure 10 pacing.
+        e = AboEngine(AboTimings())
+        t = 0
+        stall_ends = []
+        for _ in range(3):
+            _, end = e.assert_alert(t)
+            stall_ends.append(end)
+            e.on_activate()
+            t = end  # next ALERT fires right after the stall
+        gaps = [b - a for a, b in zip(stall_ends, stall_ends[1:])]
+        assert all(g >= ns(530) for g in gaps)

@@ -1,0 +1,187 @@
+"""Tests for the command-granularity memory controller."""
+
+import pytest
+
+from repro.dram.device import DramDevice
+from repro.mc.controller import MemoryController
+from repro.mitigations.base import BankTracker, MitigationSlotSource
+from repro.params import SystemConfig, ns
+
+
+class OneShotAlertTracker(BankTracker):
+    """Raises a single ALERT after a configurable ACT count."""
+
+    name = "test-oneshot"
+
+    def __init__(self, after):
+        self.after = after
+        self.acts = 0
+        self.pending = False
+        self.mitigated_at = None
+
+    def on_activate(self, row, now_ps):
+        self.acts += 1
+        if self.acts == self.after:
+            self.pending = True
+
+    def wants_alert(self):
+        return self.pending
+
+    def on_mitigation_slot(self, now_ps, source):
+        if source is MitigationSlotSource.ALERT and self.pending:
+            self.pending = False
+            self.mitigated_at = now_ps
+            return [0]
+        return []
+
+
+def make_mc(small_config, tracker_factory=None, rfm_bat=None):
+    device = DramDevice(small_config, tracker_factory)
+    return MemoryController(small_config, device, rfm_bat), device
+
+
+class TestBasicTiming:
+    def test_first_request_latency_is_act_cas(self, small_config):
+        mc, _ = make_mc(small_config)
+        r = mc.serve(0, 10, 0)
+        assert r.activated and not r.row_hit
+        t = small_config.timings
+        assert r.completion_time == t.tRCD + t.tBURST + t.tCAS
+
+    def test_same_row_back_to_back_hits(self, small_config):
+        mc, _ = make_mc(small_config)
+        first = mc.serve(0, 10, 0)
+        second = mc.serve(0, 10, first.issue_time + ns(5))
+        assert second.row_hit
+        assert not second.activated
+
+    def test_row_closes_after_soft_close_window(self, small_config):
+        mc, _ = make_mc(small_config)
+        mc.serve(0, 10, 0)
+        late = mc.serve(0, 10, ns(500))
+        assert late.activated  # tRAS expired, row auto-closed
+
+    def test_conflict_pays_precharge(self, small_config):
+        mc, _ = make_mc(small_config)
+        first = mc.serve(0, 10, 0)
+        conflict = mc.serve(0, 20, first.issue_time + ns(1))
+        assert conflict.activated
+        t = small_config.timings
+        # PRE waits tRAS after the ACT, then tRP, then the new ACT.
+        assert conflict.issue_time >= first.issue_time + t.tRAS + t.tRP
+
+    def test_trc_between_activates_same_bank(self, small_config):
+        mc, _ = make_mc(small_config)
+        a = mc.serve(0, 10, 0)
+        b = mc.serve(0, 4000, ns(1))
+        assert b.issue_time - a.issue_time >= small_config.timings.tRC
+
+    def test_banks_operate_in_parallel(self, small_config):
+        mc, _ = make_mc(small_config)
+        a = mc.serve(0, 10, 0)
+        b = mc.serve(1, 10, 0)
+        assert b.issue_time < a.issue_time + small_config.timings.tRC
+
+    def test_prac_timings_slow_conflicts(self, small_config):
+        normal_mc, _ = make_mc(small_config)
+        prac_cfg = small_config.with_prac_timings()
+        prac_dev = DramDevice(prac_cfg)
+        prac_mc = MemoryController(prac_cfg, prac_dev)
+        for mc in (normal_mc, prac_mc):
+            mc.serve(0, 10, 0)
+        n = normal_mc.serve(0, 20, ns(1))
+        p = prac_mc.serve(0, 20, ns(1))
+        assert p.issue_time > n.issue_time
+
+
+class TestRefresh:
+    def test_refreshes_issued_on_schedule(self, small_config):
+        mc, device = make_mc(small_config)
+        mc.process_refreshes(small_config.timings.tREFI * 3)
+        assert device.stats.refs_issued == 3
+
+    def test_request_waits_out_refresh(self, small_config):
+        mc, _ = make_mc(small_config)
+        t = small_config.timings
+        r = mc.serve(0, 10, t.tREFI + 1)
+        assert r.issue_time >= t.tREFI + t.tRFC
+
+    def test_finish_flushes_refreshes(self, small_config):
+        mc, device = make_mc(small_config)
+        mc.finish(small_config.timings.tREFI * 10)
+        assert device.stats.refs_issued == 10
+
+
+class TestRfmIntegration:
+    def test_rfm_issued_at_bat(self, small_config):
+        mc, device = make_mc(small_config, rfm_bat=2)
+        mc.serve(0, 10, 0)
+        mc.serve(0, 2000, ns(100))
+        assert device.stats.rfms_issued == 1
+
+    def test_rfm_blocks_the_bank(self, small_config):
+        mc, _ = make_mc(small_config, rfm_bat=2)
+        mc.serve(0, 10, 0)
+        second = mc.serve(0, 2000, ns(100))
+        third = mc.serve(0, 3000, second.issue_time + 1)
+        t = small_config.timings
+        assert third.issue_time >= second.issue_time + t.tRAS + t.tRFM
+
+    def test_other_banks_unaffected_by_rfm(self, small_config):
+        mc, _ = make_mc(small_config, rfm_bat=2)
+        mc.serve(0, 10, 0)
+        second = mc.serve(0, 2000, ns(100))
+        other = mc.serve(1, 10, second.issue_time + 1)
+        assert other.issue_time < second.issue_time + ns(195)
+
+
+class TestAlertIntegration:
+    def test_alert_asserted_and_serviced(self, small_config):
+        trackers = {}
+
+        def factory(bank_id):
+            trackers[bank_id] = OneShotAlertTracker(after=1)
+            return trackers[bank_id]
+
+        mc, device = make_mc(small_config, tracker_factory=factory)
+        r = mc.serve(0, 10, 0)
+        assert mc.alerts == 1
+        abo = small_config.abo
+        assert trackers[0].mitigated_at == \
+            r.issue_time + abo.prologue + abo.stall
+
+    def test_commands_during_stall_are_deferred(self, small_config):
+        mc, _ = make_mc(small_config,
+                        tracker_factory=lambda b: OneShotAlertTracker(1))
+        first = mc.serve(0, 10, 0)
+        abo = small_config.abo
+        stall_start = first.issue_time + abo.prologue
+        mid_stall = mc.serve(1, 10, stall_start + ns(10))
+        assert mid_stall.issue_time >= stall_start + abo.stall
+
+    def test_commands_during_prologue_proceed(self, small_config):
+        mc, _ = make_mc(small_config,
+                        tracker_factory=lambda b: OneShotAlertTracker(1))
+        first = mc.serve(0, 10, 0)
+        in_prologue = mc.serve(1, 10, first.issue_time + ns(20))
+        assert in_prologue.issue_time < first.issue_time + ns(180)
+
+    def test_alert_counted_once(self, small_config):
+        mc, device = make_mc(
+            small_config, tracker_factory=lambda b: OneShotAlertTracker(1))
+        mc.serve(0, 10, 0)
+        assert device.stats.alerts_serviced == 1
+
+
+class TestBookkeeping:
+    def test_row_hit_rate(self, small_config):
+        mc, _ = make_mc(small_config)
+        r = mc.serve(0, 10, 0)
+        mc.serve(0, 10, r.issue_time + ns(2))
+        assert mc.row_hit_rate == 0.5
+
+    def test_activation_count(self, small_config):
+        mc, _ = make_mc(small_config)
+        mc.serve(0, 10, 0)
+        mc.serve(1, 10, 0)
+        assert mc.total_activations == 2

@@ -1,0 +1,67 @@
+"""Integration of the DRFM engine with the memory controller."""
+
+import random
+
+from repro.dram.device import DramDevice
+from repro.mc.controller import MemoryController
+from repro.mc.drfm import DrfmEngine
+from repro.mc.validator import CommandLog, TimingValidator
+from repro.params import SystemConfig, ns
+
+
+def make(small_config, acts_per_drfm=16, sample_window=1):
+    device = DramDevice(small_config)
+    engine = DrfmEngine(device.num_banks, sample_window=sample_window,
+                        acts_per_drfm=acts_per_drfm,
+                        rng=random.Random(7))
+    log = CommandLog()
+    mc = MemoryController(small_config, device, command_log=log,
+                          drfm=engine)
+    return mc, device, engine, log
+
+
+class TestDrfmController:
+    def _drive(self, mc, n=64):
+        t = 0
+        for i in range(n):
+            result = mc.serve(i % 4, (i * 37) % 512, t)
+            t = result.completion_time + ns(5)
+        return t
+
+    def test_drfm_mitigations_recorded(self, small_config):
+        mc, device, engine, _ = make(small_config)
+        self._drive(mc)
+        assert engine.drfms_issued >= 1
+        assert device.stats.mitigations_total >= 1
+        assert device.stats.mitigations_by_source.get("rfm", 0) >= 1
+
+    def test_one_drfm_serves_multiple_banks(self, small_config):
+        mc, device, engine, _ = make(small_config, acts_per_drfm=32)
+        self._drive(mc, 64)
+        per_drfm = device.stats.mitigations_total / \
+            max(1, engine.drfms_issued)
+        assert per_drfm > 1.0
+
+    def test_oracle_counts_reduced(self, small_config):
+        mc, device, engine, _ = make(small_config, acts_per_drfm=8)
+        t = 0
+        # Hammer one row; the sampler latches it constantly.
+        for _ in range(200):
+            result = mc.serve(0, 42, t)
+            t = result.completion_time + ns(50)
+        assert device.banks[0].oracle.count(42) < 200
+
+    def test_timing_stays_legal_with_drfm(self, small_config):
+        mc, device, engine, log = make(small_config)
+        self._drive(mc, 128)
+        violations = TimingValidator(small_config.timings).validate(log)
+        assert violations == []
+
+    def test_disabled_when_none(self, small_config):
+        device = DramDevice(small_config)
+        mc = MemoryController(small_config, device)
+        t = 0
+        for i in range(32):
+            result = mc.serve(i % 4, i * 3 % 128, t)
+            t = result.completion_time + ns(5)
+        assert device.stats.mitigations_total == 0

@@ -1,0 +1,101 @@
+"""Tests for the command-log timing validator."""
+
+from repro.mc.validator import CommandLog, TimingValidator
+from repro.params import DramTimings, ns
+
+
+def make_validator():
+    return TimingValidator(DramTimings())
+
+
+class TestCleanLogs:
+    def test_empty_log(self):
+        assert make_validator().validate(CommandLog()) == []
+
+    def test_legal_acts_pass(self):
+        log = CommandLog()
+        log.record_act(0, 0)
+        log.record_act(ns(46), 0)
+        log.record_act(ns(5), 1)
+        assert make_validator().validate(log) == []
+
+    def test_legal_pre_act_cycle(self):
+        log = CommandLog()
+        log.record_act(0, 0)
+        log.record_precharge(ns(32), 0)
+        log.record_act(ns(46), 0)
+        assert make_validator().validate(log) == []
+
+
+class TestViolations:
+    def test_trc_violation(self):
+        log = CommandLog()
+        log.record_act(0, 0)
+        log.record_act(ns(30), 0)
+        violations = make_validator().validate(log)
+        assert any("tRC" in v for v in violations)
+
+    def test_tras_violation(self):
+        log = CommandLog()
+        log.record_act(0, 0)
+        log.record_precharge(ns(10), 0)
+        violations = make_validator().validate(log)
+        assert any("tRAS" in v for v in violations)
+
+    def test_trp_violation(self):
+        log = CommandLog()
+        log.record_act(0, 0)
+        log.record_precharge(ns(32), 0)
+        log.record_act(ns(40), 0)  # < PRE + tRP (46 ns)
+        violations = make_validator().validate(log)
+        assert any("tRP" in v for v in violations)
+
+    def test_tfaw_violation(self):
+        log = CommandLog()
+        for i in range(5):
+            log.record_act(i * ns(1), i)  # 5 ACTs within 5 ns
+        violations = make_validator().validate(log)
+        assert any("tFAW" in v for v in violations)
+
+    def test_four_acts_in_window_allowed(self):
+        log = CommandLog()
+        for i in range(4):
+            log.record_act(i * ns(1), i)
+        log.record_act(ns(14), 4)
+        assert make_validator().validate(log) == []
+
+    def test_ref_blackout_violation(self):
+        log = CommandLog()
+        log.record_ref(ns(100), ns(510))
+        log.record_act(ns(200), 0)
+        violations = make_validator().validate(log)
+        assert any("REF blackout" in v for v in violations)
+
+    def test_rfm_blackout_only_blocks_its_bank(self):
+        log = CommandLog()
+        log.record_rfm(ns(100), ns(295), bank=0)
+        log.record_act(ns(150), 1)  # another bank: fine
+        assert make_validator().validate(log) == []
+        log.record_act(ns(160), 0)  # same bank: violation
+        violations = make_validator().validate(log)
+        assert any("RFM blackout" in v for v in violations)
+
+    def test_stall_violation(self):
+        log = CommandLog()
+        log.record_stall(ns(100), ns(450))
+        log.record_act(ns(120), 3)
+        violations = make_validator().validate(log)
+        assert any("ALERT stall" in v for v in violations)
+
+    def test_bus_overlap(self):
+        log = CommandLog()
+        log.record_burst(0, ns(3))
+        log.record_burst(ns(2), ns(5))
+        violations = make_validator().validate(log)
+        assert any("bus overlap" in v for v in violations)
+
+    def test_adjacent_bursts_allowed(self):
+        log = CommandLog()
+        log.record_burst(0, ns(3))
+        log.record_burst(ns(3), ns(6))
+        assert make_validator().validate(log) == []

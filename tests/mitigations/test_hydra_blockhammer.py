@@ -1,0 +1,165 @@
+"""Tests for the Hydra and BlockHammer related-work implementations."""
+
+import pytest
+
+from repro.dram.refresh import RefreshScheduler
+from repro.mitigations.base import MitigationSlotSource
+from repro.mitigations.blockhammer import (
+    BlockHammerThrottle,
+    CountingBloomFilter,
+)
+from repro.mitigations.hydra import HydraTracker
+
+REF = MitigationSlotSource.REF
+
+
+class TestHydra:
+    def make(self, **kw):
+        defaults = dict(rows_per_bank=1024, rows_per_group=64,
+                        group_threshold=10, mitigation_threshold=20,
+                        cache_entries=4)
+        defaults.update(kw)
+        return HydraTracker(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(rows_per_group=100)  # does not divide
+        with pytest.raises(ValueError):
+            self.make(mitigation_threshold=5)
+
+    def test_cold_group_stays_in_group_stage(self):
+        t = self.make()
+        for _ in range(10):
+            t.on_activate(5, 0)
+        assert t.exact_count(5) == 0
+        assert t.dram_lookups == 0
+
+    def test_overflow_installs_sound_upper_bounds(self):
+        t = self.make()
+        for _ in range(11):
+            t.on_activate(5, 0)
+        # Row 5's exact counter starts at the group count: it can only
+        # overestimate, never undercount (security-sound).
+        assert t.exact_count(5) == 11
+        assert t.exact_count(6) == 10  # same group, never activated
+
+    def test_mitigation_at_exact_threshold(self):
+        t = self.make()
+        for _ in range(20):
+            t.on_activate(5, 0)
+        assert t.on_mitigation_slot(0, REF) == [5]
+        assert t.exact_count(5) == 0
+
+    def test_cache_misses_cost_dram_lookups(self):
+        t = self.make(cache_entries=2)
+        for _ in range(11):
+            t.on_activate(0, 0)  # group 0 overflows
+        lookups = t.dram_lookups
+        # Touch more distinct rows than the cache holds: every new row
+        # is a miss.
+        for row in (1, 2, 3, 4):
+            t.on_activate(row, 0)
+        assert t.dram_lookups >= lookups + 4
+
+    def test_ref_resets_row_counters_and_wrap_resets_groups(self,
+                                                            tiny_geometry):
+        t = HydraTracker(rows_per_bank=256, rows_per_group=16,
+                         group_threshold=4, mitigation_threshold=8)
+        scheduler = RefreshScheduler(tiny_geometry)
+        for _ in range(6):
+            t.on_activate(0, 0)
+        t.on_ref_slice(scheduler.advance(), 0)  # sweeps rows 0..15
+        assert t.exact_count(0) == 0
+        for _ in range(scheduler.refs_per_window - 1):
+            t.on_ref_slice(scheduler.advance(), 0)
+        assert t._group_counts == {}
+
+    def test_sram_storage_is_small(self):
+        t = HydraTracker()  # full-size defaults
+        # Far below a per-row table (128K rows x 10b = 160KB).
+        assert t.storage_bits() / 8 < 2048
+
+
+class TestCountingBloomFilter:
+    def test_never_underestimates(self):
+        f = CountingBloomFilter(counters=64, hashes=3)
+        true = {}
+        for i in range(300):
+            row = i % 17
+            f.insert(row)
+            true[row] = true.get(row, 0) + 1
+        for row, count in true.items():
+            assert f.estimate(row) >= count
+
+    def test_clear(self):
+        f = CountingBloomFilter()
+        f.insert(5)
+        f.clear()
+        assert f.estimate(5) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(counters=0)
+
+
+class TestBlockHammer:
+    def make(self, trh=100, trefw=1_000_000):
+        return BlockHammerThrottle(trh=trh, trefw_ps=trefw)
+
+    def test_cold_rows_not_delayed(self):
+        b = self.make()
+        assert b.required_delay_ps(5, 0) == 0
+
+    def test_hot_row_gets_paced(self):
+        b = self.make(trh=100)
+        t = 0
+        for _ in range(60):  # past the 50-ACT blacklist threshold
+            b.on_activate(7, t)
+            t += 10
+        delay = b.required_delay_ps(7, t)
+        assert delay > 0
+
+    def test_other_rows_unaffected_by_hot_row(self):
+        b = self.make(trh=100)
+        t = 0
+        for _ in range(60):
+            b.on_activate(7, t)
+            t += 10
+        assert b.required_delay_ps(9999, t) == 0
+
+    def test_pacing_bounds_acts_per_window(self):
+        """Security: even an attacker that always waits out the delay
+        cannot exceed the threshold within a window."""
+        b = self.make(trh=100, trefw=1_000_000)
+        t = 0
+        acts_in_window = 0
+        while t < 1_000_000:
+            delay = b.required_delay_ps(7, t)
+            t += delay
+            if t >= 1_000_000:
+                break
+            b.on_activate(7, t)
+            acts_in_window += 1
+            t += 1  # attacker fires as fast as allowed
+        assert acts_in_window <= b.max_acts_per_window()
+        assert b.max_acts_per_window() < 3 * b.trh
+
+    def test_epoch_rotation_forgets_old_activity(self):
+        b = self.make(trh=100, trefw=1_000_000)
+        for i in range(60):
+            b.on_activate(7, i)
+        # A full window later both epochs have rotated past the burst.
+        assert b.required_delay_ps(7, 1_100_000) == 0
+        assert b.estimate(7) == 0
+
+    def test_throttled_acts_counted(self):
+        b = self.make(trh=100)
+        t = 0
+        for _ in range(60):
+            b.on_activate(7, t)
+            t += 10
+        assert b.throttled_acts > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockHammerThrottle(trh=1, trefw_ps=1000)

@@ -1,0 +1,68 @@
+"""Unit tests for the single-bank attack verification harness."""
+
+from repro.mitigations.none import NoMitigation
+from repro.mitigations.prac import PracTracker
+from repro.security.attacks import SingleBankHarness
+from repro.params import SystemConfig
+
+
+class TestHarnessBasics:
+    def test_counts_acts_and_refs(self, small_config):
+        h = SingleBankHarness(NoMitigation(), small_config,
+                              acts_per_ref=10)
+        h.run(iter([1] * 25))
+        assert h.acts == 25
+        assert h.refresh.refptr == 2
+
+    def test_oracle_sees_unmitigated_acts(self, small_config):
+        h = SingleBankHarness(NoMitigation(), small_config,
+                              acts_per_ref=10 ** 9)
+        h.run(iter([7] * 50))
+        assert h.max_unmitigated == 50
+        assert h.attack_succeeded(49)
+
+    def test_refresh_sweep_resets_rows_in_order(self, small_config):
+        h = SingleBankHarness(NoMitigation(), small_config,
+                              acts_per_ref=10)
+        # Hammer row 0; the first REF (rows 0..15) clears it.
+        h.run(iter([0] * 10))
+        assert h.bank.oracle.count(0) == 0
+        assert h.max_unmitigated == 10  # sticky maximum
+
+    def test_alert_allows_prologue_acts_then_services(self, small_config):
+        tracker = PracTracker(trhd=100, alert_threshold=5)
+        h = SingleBankHarness(tracker, small_config,
+                              acts_per_ref=10 ** 9)
+        h.run(iter([3] * 5))      # threshold reached, ALERT pending
+        assert h.alerts == 0      # not serviced yet (prologue)
+        h.run(iter([3] * 3))      # the 3 prologue ACTs land
+        assert h.alerts == 1
+        assert h.mitigations == 1
+        assert h.bank.oracle.count(3) == 0
+
+    def test_epilogue_act_required_before_next_alert(self, small_config):
+        tracker = PracTracker(trhd=100, alert_threshold=2)
+        h = SingleBankHarness(tracker, small_config,
+                              acts_per_ref=10 ** 9)
+        # Two rows crossing the threshold back to back: the second
+        # ALERT must wait for at least one post-stall ACT.
+        h.run(iter([1, 1, 2, 2, 1, 1, 1]))
+        assert h.alerts >= 1
+
+    def test_flush_alert_services_pending(self, small_config):
+        tracker = PracTracker(trhd=100, alert_threshold=5)
+        h = SingleBankHarness(tracker, small_config,
+                              acts_per_ref=10 ** 9)
+        h.run(iter([3] * 5))
+        h.flush_alert()
+        assert h.alerts == 1
+
+    def test_prac_phase_d_bound(self, small_config):
+        """The oracle-visible worst case for PRAC is ETH + prologue."""
+        trhd = 64
+        tracker = PracTracker(trhd=trhd, abo=small_config.abo)
+        h = SingleBankHarness(tracker, small_config,
+                              acts_per_ref=10 ** 9)
+        h.run(iter([9] * 500))
+        assert h.max_unmitigated <= trhd
+        assert h.alerts >= 5

@@ -1,0 +1,63 @@
+"""Tests for the Monte Carlo cross-check of the MINT model."""
+
+import pytest
+
+from repro.security.montecarlo import (
+    analytic_escape_probability,
+    empirical_bound_check,
+    escape_probability,
+    max_unmitigated_distribution,
+)
+from repro.security.mint_model import mint_unmitigated_bound
+
+
+class TestEscapeProbability:
+    def test_matches_closed_form(self):
+        measured = escape_probability(window=8, acts_per_window=1,
+                                      windows=10, trials=3000, seed=1)
+        analytic = analytic_escape_probability(8, 1, 10)
+        assert measured == pytest.approx(analytic, abs=0.035)
+
+    def test_heavier_hammering_escapes_less(self):
+        light = escape_probability(8, 1, 8, trials=1500, seed=2)
+        heavy = escape_probability(8, 4, 8, trials=1500, seed=2)
+        assert heavy < light
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            escape_probability(8, 0, 5)
+        with pytest.raises(ValueError):
+            escape_probability(8, 9, 5)
+
+    def test_full_window_hammer_always_caught(self):
+        assert escape_probability(4, 4, 3, trials=300, seed=3) == 0.0
+
+
+class TestMaxUnmitigatedDistribution:
+    def test_returns_one_value_per_trial(self):
+        values = max_unmitigated_distribution(8, trials=50,
+                                              horizon_acts=4000)
+        assert len(values) == 50
+        assert all(v >= 1 for v in values)
+
+    def test_wider_window_sustains_more(self):
+        narrow = max_unmitigated_distribution(4, trials=60,
+                                              horizon_acts=8000,
+                                              seed=4)
+        wide = max_unmitigated_distribution(16, trials=60,
+                                            horizon_acts=8000, seed=4)
+        assert sum(wide) / len(wide) > sum(narrow) / len(narrow)
+
+
+class TestBoundCheck:
+    def test_empirical_max_below_analytic_bound(self):
+        """The analytic bound at 2^-28.5 must dominate anything a few
+        hundred trials can produce (those only probe ~2^-8 tails)."""
+        result = empirical_bound_check(window=8, fail_exponent=28.5,
+                                       trials=200, horizon_acts=20_000)
+        assert result["empirical_max"] < result["analytic_bound"]
+        assert result["implied_exponent"] < 28.5
+
+    def test_bound_grows_with_exponent(self):
+        assert mint_unmitigated_bound(12, 40) > \
+            mint_unmitigated_bound(12, 20)

@@ -1,0 +1,107 @@
+"""Tests for the experiment runner (fast smoke at a deep scale)."""
+
+import pytest
+
+from repro.params import SimScale
+from repro.sim.runner import (
+    MINT_RFM_WINDOWS,
+    baseline_setup,
+    calibrated_workload,
+    mint_rfm_setup,
+    mirza_setup,
+    naive_mirza_setup,
+    prac_setup,
+    run_baseline,
+    run_workload,
+    slowdown_for,
+)
+
+SCALE = SimScale(2048)  # ~16 us windows: smoke-test speed
+
+
+class TestSetups:
+    def test_baseline_has_no_tracker(self):
+        setup = baseline_setup()
+        assert setup.tracker_factory is None
+        assert setup.rfm_bat is None
+        assert not setup.use_prac_timings
+
+    def test_prac_setup_uses_prac_timings(self):
+        setup = prac_setup(1000)
+        assert setup.use_prac_timings
+        tracker = setup.tracker_factory(0, 0, 0)
+        assert tracker.name == "prac"
+
+    def test_mint_rfm_window_defaults(self):
+        assert mint_rfm_setup(500).rfm_bat == 24
+        assert mint_rfm_setup(1000).rfm_bat == 48
+        assert mint_rfm_setup(2000).rfm_bat == 96
+
+    def test_mint_rfm_windows_table(self):
+        assert MINT_RFM_WINDOWS == {500: 24, 1000: 48, 2000: 96}
+
+    def test_mirza_setup_scales_fth(self):
+        setup = mirza_setup(1000, SimScale(64))
+        assert setup.extra["config"].fth == 1500 // 64
+        assert setup.mapping == "strided"
+
+    def test_mirza_setup_fth_floor(self):
+        # At extreme scales the threshold clamps at 1, never 0.
+        setup = mirza_setup(1000, SCALE)
+        assert setup.extra["config"].fth == 1
+
+    def test_mirza_trackers_differ_per_bank_seed(self):
+        setup = mirza_setup(1000, SCALE)
+        a = setup.tracker_factory(0, 0, 0)
+        b = setup.tracker_factory(0, 0, 1)
+        seq_a = [a.mint.rng.random() for _ in range(3)]
+        seq_b = [b.mint.rng.random() for _ in range(3)]
+        assert seq_a != seq_b
+
+    def test_naive_mirza_setup(self):
+        setup = naive_mirza_setup(48, queue_entries=2)
+        tracker = setup.tracker_factory(0, 0, 0)
+        assert tracker.config.fth == 0
+        assert tracker.queue.capacity == 2
+
+
+class TestCalibration:
+    def test_calibrated_workload_cached(self):
+        a = calibrated_workload("tc", SCALE, seed=3)
+        b = calibrated_workload("tc", SCALE, seed=3)
+        assert a is b
+
+    def test_calibration_hits_target_rate(self):
+        result = run_baseline("tc", SCALE, seed=1)
+        from repro.workloads.specs import workload_by_name
+        spec = workload_by_name("tc")
+        target = spec.acts_per_subarray_mean / SCALE.time_scale
+        assert result.acts_per_subarray() == pytest.approx(
+            target, rel=0.35)
+
+
+class TestRunning:
+    def test_baseline_cached(self):
+        a = run_baseline("tc", SCALE, seed=0)
+        b = run_baseline("tc", SCALE, seed=0)
+        assert a is b
+
+    def test_protected_run_returns_stats(self):
+        result = run_workload("tc", mirza_setup(1000, SCALE), SCALE)
+        assert result.total_activations > 0
+        assert len(result.alerts) == 2
+
+    def test_slowdown_for_returns_pair(self):
+        sd, result = slowdown_for("tc", prac_setup(1000), SCALE)
+        assert isinstance(sd, float)
+        assert result.total_requests > 0
+
+    def test_prac_slows_down_memory_bound_workload(self):
+        sd, _ = slowdown_for("tc", prac_setup(1000), SCALE)
+        assert sd > 0.0
+
+    def test_mirza_cheaper_than_mint_rfm(self):
+        mirza_sd, _ = slowdown_for("tc", mirza_setup(1000, SCALE),
+                                   SCALE)
+        rfm_sd, _ = slowdown_for("tc", mint_rfm_setup(1000), SCALE)
+        assert mirza_sd <= rfm_sd

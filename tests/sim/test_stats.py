@@ -1,0 +1,59 @@
+"""Tests for the stats/table helpers."""
+
+import pytest
+
+from repro.sim.stats import format_table, geometric_mean, mean, std
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+    def test_generator_input(self):
+        assert mean(x for x in (2.0, 4.0)) == 3.0
+
+
+class TestStd:
+    def test_constant_is_zero(self):
+        assert std([5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        assert std([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_short_input(self):
+        assert std([1]) == 0.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_ignores_non_positive(self):
+        assert geometric_mean([0, -1, 4]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 10_000.0]],
+                           title="T")
+        assert out.startswith("T\n")
+        assert "a" in out and "bb" in out
+        assert "2.500" in out
+        assert "10,000" in out
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["value"], ["x"]])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines if "|" not in line}) <= 2
+
+    def test_float_formats(self):
+        out = format_table(["v"], [[0.0], [12.34], [3.14159]])
+        assert "0" in out
+        assert "12.3" in out
+        assert "3.142" in out

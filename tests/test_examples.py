@@ -1,0 +1,43 @@
+"""Smoke tests: the shipped examples stay runnable.
+
+Only the fast examples execute end to end here; the heavier ones
+(`quickstart`, `compare_mitigations`, `custom_trace`,
+`security_audit`) are compile-checked so a refactor that breaks their
+imports or syntax fails the suite immediately.
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+FAST_EXAMPLES = ["provisioning_sweep.py", "rowhammer_playground.py"]
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        assert len(ALL_EXAMPLES) >= 3
+        assert "quickstart.py" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_has_module_docstring(self, name):
+        source = (EXAMPLES / name).read_text()
+        assert source.lstrip().startswith('"""'), name
+
+
+class TestFastExamplesRun:
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_runs_to_completion(self, name, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", [name])
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report

@@ -1,0 +1,77 @@
+"""Tests for the report generator and CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.report import (
+    _canonical,
+    exhibit_names,
+    generate_markdown,
+    run_exhibit,
+)
+
+
+class TestCanonicalNames:
+    def test_roman_and_arabic_agree(self):
+        assert _canonical("Table X") == _canonical("table10")
+        assert _canonical("Table VII") == _canonical("table7")
+        assert _canonical("Figure 11") == _canonical("fig11")
+
+    def test_distinct_exhibits_stay_distinct(self):
+        names = [_canonical(n) for n in exhibit_names()]
+        assert len(set(names)) == len(names)
+
+
+class TestRunExhibit:
+    def test_runs_analytic_exhibit(self):
+        out = run_exhibit("table7")
+        assert "196" in out
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            run_exhibit("table99")
+
+    def test_output_is_silent(self, capsys):
+        run_exhibit("table1")
+        assert capsys.readouterr().out == ""
+
+
+class TestGenerateMarkdown:
+    def test_selected_exhibits_only(self):
+        report = generate_markdown(only=["table7", "table10"],
+                                   progress=False)
+        assert "Table VII" in report
+        assert "Table X" in report
+        assert "Figure 3" not in report
+        assert report.count("```") == 4
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VII" in out
+
+    def test_single_exhibit(self, capsys):
+        assert cli_main(["table10"]) == 0
+        assert "45" in capsys.readouterr().out
+
+    def test_unknown_exhibit(self, capsys):
+        assert cli_main(["tableZZ"]) == 2
+
+    def test_help(self, capsys):
+        assert cli_main(["--help"]) == 0
+        assert "report" in capsys.readouterr().out
+
+    def test_report_writes_file(self, tmp_path, monkeypatch, capsys):
+        target = tmp_path / "report.md"
+        monkeypatch.setenv("REPRO_WORKLOADS", "tc")
+        monkeypatch.setenv("REPRO_TIME_SCALE", "4096")
+        monkeypatch.setenv("REPRO_CGF_SCALE", "512")
+        import repro.report as report_module
+        monkeypatch.setattr(
+            report_module, "EXHIBITS",
+            [e for e in report_module.EXHIBITS
+             if e[0] in ("Table I", "Table VII")])
+        assert cli_main(["report", str(target)]) == 0
+        assert "Table VII" in target.read_text()
