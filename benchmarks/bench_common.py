@@ -8,14 +8,19 @@ Override with environment variables for higher fidelity:
         pytest benchmarks/ --benchmark-only
 
 ``REPRO_BENCH_SCALE=1`` reproduces the paper's full 32 ms windows
-(hours of wall clock in pure Python).
+(hours of wall clock in pure Python).  ``REPRO_BENCH_JOBS=N`` fans the
+benched sweeps out over N worker processes through a shared
+:class:`~repro.sim.session.SimSession` (disk cache off, so the timing
+measures real simulation work).
 """
 
 from __future__ import annotations
 
 import os
+from typing import Optional
 
 from repro.params import SimScale
+from repro.sim.session import SimSession
 
 BENCH_WORKLOADS = (
     None if os.environ.get("REPRO_BENCH_WORKLOADS", "") == "all"
@@ -32,6 +37,29 @@ def sim_scale() -> SimScale:
 def counting_scale() -> SimScale:
     """Time scale for activation-counting measurements (default 32)."""
     return SimScale(int(os.environ.get("REPRO_BENCH_CGF_SCALE", "32")))
+
+
+def bench_jobs() -> int:
+    """Worker processes for benched sweeps (REPRO_BENCH_JOBS, def 1)."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+_BENCH_SESSION: Optional[SimSession] = None
+
+
+def bench_session() -> SimSession:
+    """The shared benchmark session: disk cache disabled (timings must
+    measure simulation, not cache hits), ``REPRO_BENCH_JOBS`` workers.
+
+    The in-memory cache is cleared on every call so repeated bench
+    rounds re-run the actual work.
+    """
+    global _BENCH_SESSION
+    if _BENCH_SESSION is None:
+        _BENCH_SESSION = SimSession(disk_cache=False,
+                                    max_workers=bench_jobs())
+    _BENCH_SESSION.clear()
+    return _BENCH_SESSION
 
 
 def once(benchmark, fn):

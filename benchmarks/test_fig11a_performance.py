@@ -1,13 +1,15 @@
 """Bench: regenerate Figure 11(a) (MIRZA vs PRAC slowdown)."""
 
-from bench_common import BENCH_WORKLOADS, once, sim_scale
+from bench_common import BENCH_WORKLOADS, bench_session, once, \
+    sim_scale
 
 from repro.experiments import fig11
 
 
 def test_fig11a_performance(benchmark):
     result = once(benchmark, lambda: fig11.run(
-        workloads=BENCH_WORKLOADS, scale=sim_scale()))
+        workloads=BENCH_WORKLOADS, scale=sim_scale(),
+        session=bench_session()))
     # Headline: MIRZA is far cheaper than PRAC at every threshold.
     for trhd in (500, 1000, 2000):
         assert result.mirza_slowdown[trhd] < result.prac_slowdown

@@ -1,13 +1,15 @@
 """Bench: regenerate Figure 3 (MINT+RFM vs PRAC overheads)."""
 
-from bench_common import BENCH_WORKLOADS, once, sim_scale
+from bench_common import BENCH_WORKLOADS, bench_session, once, \
+    sim_scale
 
 from repro.experiments import fig3
 
 
 def test_fig3_rfm_overheads(benchmark):
     result = once(benchmark, lambda: fig3.run(
-        workloads=BENCH_WORKLOADS, scale=sim_scale()))
+        workloads=BENCH_WORKLOADS, scale=sim_scale(),
+        session=bench_session()))
     # Shape: MINT+RFM overheads shrink as the threshold relaxes.
     assert result.mint_slowdown[500] > result.mint_slowdown[1000] \
         > result.mint_slowdown[2000]

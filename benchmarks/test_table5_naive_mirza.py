@@ -1,6 +1,7 @@
 """Bench: regenerate Table V (Naive MIRZA vs queue size)."""
 
-from bench_common import BENCH_WORKLOADS, once, sim_scale
+from bench_common import BENCH_WORKLOADS, bench_session, once, \
+    sim_scale
 
 from repro.experiments import table5
 
@@ -8,7 +9,8 @@ from repro.experiments import table5
 def test_table5_naive_mirza(benchmark):
     result = once(benchmark, lambda: table5.run(
         workloads=BENCH_WORKLOADS, scale=sim_scale(),
-        windows=(24, 48, 96), queue_sizes=(1, 2, 4)))
+        windows=(24, 48, 96), queue_sizes=(1, 2, 4),
+        session=bench_session()))
     # Shape 1: a single-entry queue is catastrophic; buffering helps.
     for window in (24, 48, 96):
         assert result.slowdown[(window, 1)] > \

@@ -13,7 +13,9 @@ Public API highlights
 - :mod:`repro.mitigations` -- the baselines: PRAC+ABO, proactive MINT,
   Mithril, TRR, PARA.
 - :mod:`repro.sim` -- run (workload x mitigation) simulations and
-  measure slowdown, ALERT rate, and refresh-power overhead.
+  measure slowdown, ALERT rate, and refresh-power overhead.  The
+  :class:`repro.SimSession` object owns result caching and parallel
+  fan-out; :func:`repro.setup_by_name` names the paper's setups.
 - :mod:`repro.security` -- analytic safe-TRH models, the attack
   verification harness, and area/storage accounting.
 - :mod:`repro.workloads` -- Table IV workload generators and attack
@@ -46,8 +48,15 @@ from repro.params import (
     SimScale,
     SystemConfig,
 )
+from repro.sim import (
+    SimJob,
+    SimSession,
+    available_setups,
+    setup_by_name,
+    using_session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AboTimings",
@@ -60,7 +69,12 @@ __all__ = [
     "MitigationCosts",
     "RegionCountTable",
     "ResetPolicy",
+    "SimJob",
     "SimScale",
+    "SimSession",
     "SystemConfig",
+    "available_setups",
+    "setup_by_name",
+    "using_session",
     "__version__",
 ]

@@ -2,43 +2,162 @@
 
 Usage::
 
-    python -m repro list                 # available exhibits
-    python -m repro table7               # print one exhibit
-    python -m repro fig11 table8         # several exhibits
-    python -m repro report [path]        # run everything -> markdown
+    python -m repro list                   # available exhibits
+    python -m repro run table7             # print one exhibit
+    python -m repro run fig11 table8       # several exhibits
+    python -m repro report [path]          # run everything -> markdown
+    python -m repro report --jobs 8        # ... on 8 worker processes
 
-Scales and workload subsets are controlled by the REPRO_TIME_SCALE /
-REPRO_CGF_SCALE / REPRO_WORKLOADS environment variables (see
-``repro.experiments``).
+Bare exhibit names still work (``python -m repro table7`` is shorthand
+for ``python -m repro run table7``).
+
+Every subcommand accepts the shared simulation flags (``--jobs``,
+``--time-scale``, ``--cgf-scale``, ``--workloads``, ``--seed``,
+``--cache-dir``, ``--no-cache``).  The ``REPRO_*`` environment
+variables remain as fallbacks; an explicit flag always wins over the
+environment.
 """
 
 from __future__ import annotations
 
+import argparse
+import contextlib
+import os
 import sys
+from typing import Iterator, List, Optional
 
 from repro.report import exhibit_names, run_exhibit, write_report
+from repro.sim.session import SimSession
+
+_SUBCOMMANDS = ("list", "run", "report")
+
+_ENV_FLAGS = [
+    # (argparse dest, environment variable the flag overrides)
+    ("time_scale", "REPRO_TIME_SCALE"),
+    ("cgf_scale", "REPRO_CGF_SCALE"),
+    ("workloads", "REPRO_WORKLOADS"),
+    ("seed", "REPRO_SEED"),
+]
 
 
-def main(argv=None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (three subcommands, shared flags)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's tables and figures. "
+                    "Subcommands: list, run, report.")
+    sub = parser.add_subparsers(dest="command")
+
+    def add_shared(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", "-j", type=int, default=None, metavar="N",
+            help="worker processes for simulation sweeps "
+                 "(default: REPRO_JOBS or 1)")
+        p.add_argument(
+            "--time-scale", type=int, default=None, metavar="S",
+            help="window divisor for timed simulation "
+                 "(default: REPRO_TIME_SCALE or 512)")
+        p.add_argument(
+            "--cgf-scale", type=int, default=None, metavar="S",
+            help="window divisor for counting measurements "
+                 "(default: REPRO_CGF_SCALE or 16)")
+        p.add_argument(
+            "--workloads", default=None, metavar="A,B,...",
+            help="comma-separated workload subset, or 'all' "
+                 "(default: REPRO_WORKLOADS or the built-in subset)")
+        p.add_argument(
+            "--seed", type=int, default=None, metavar="N",
+            help="base RNG seed (default: REPRO_SEED or 0)")
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="persistent result-cache directory "
+                 "(default: REPRO_CACHE_DIR; unset disables the disk "
+                 "cache unless REPRO_CACHE_DIR is set)")
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the on-disk result cache for this run")
+
+    p_list = sub.add_parser("list", help="print the exhibit names")
+    add_shared(p_list)
+
+    p_run = sub.add_parser(
+        "run", help="run the named exhibits and print their tables")
+    p_run.add_argument("exhibits", nargs="+", metavar="exhibit",
+                       help="exhibit names, e.g. table7 fig11")
+    add_shared(p_run)
+
+    p_report = sub.add_parser(
+        "report", help="run every exhibit and write a markdown report")
+    p_report.add_argument("path", nargs="?",
+                          default="EXPERIMENTS.generated.md",
+                          help="output file "
+                               "(default: EXPERIMENTS.generated.md)")
+    add_shared(p_report)
+    return parser
+
+
+@contextlib.contextmanager
+def _environment(args: argparse.Namespace) -> Iterator[None]:
+    """Apply flag overrides to the ``REPRO_*`` environment and restore
+    the previous values on exit, so flags beat the environment without
+    leaking into the calling process state."""
+    saved = {}
+    overrides = {var: getattr(args, dest, None)
+                 for dest, var in _ENV_FLAGS}
+    try:
+        for var, value in overrides.items():
+            if value is None:
+                continue
+            saved[var] = os.environ.get(var)
+            os.environ[var] = str(value)
+        yield
+    finally:
+        for var, previous in saved.items():
+            if previous is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = previous
+
+
+def _session_for(args: argparse.Namespace) -> SimSession:
+    """Build the session the chosen subcommand will submit jobs to."""
+    return SimSession(
+        cache_dir=getattr(args, "cache_dir", None),
+        disk_cache=False if getattr(args, "no_cache", False) else None,
+        max_workers=getattr(args, "jobs", None))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     """Dispatch the CLI arguments; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] in ("-h", "--help", "help"):
+    if not argv:
         print(__doc__)
         return 0
-    if argv[0] == "list":
-        for name in exhibit_names():
-            print(name)
-        return 0
-    if argv[0] == "report":
-        path = argv[1] if len(argv) > 1 else "EXPERIMENTS.generated.md"
-        write_report(path)
-        return 0
-    for name in argv:
-        try:
-            print(run_exhibit(name))
-        except KeyError as error:
-            print(error, file=sys.stderr)
-            return 2
+    if argv[0] == "help":
+        argv[0] = "--help"
+    # Back-compat: a bare exhibit name is shorthand for `run <name>`.
+    if argv[0] not in _SUBCOMMANDS and not argv[0].startswith("-"):
+        argv.insert(0, "run")
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+    with _environment(args):
+        session = _session_for(args)
+        if args.command == "list":
+            for name in exhibit_names():
+                print(name)
+            return 0
+        if args.command == "report":
+            write_report(args.path, session=session)
+            return 0
+        for name in args.exhibits:
+            try:
+                print(run_exhibit(name, session=session))
+            except KeyError as error:
+                print(error, file=sys.stderr)
+                return 2
     return 0
 
 

@@ -1,11 +1,21 @@
-"""Shared plumbing for the experiment modules."""
+"""Shared plumbing for the experiment modules.
+
+Besides the environment knobs (scales, workload subsets, seed) and the
+activation-level measurement kernels (:func:`measure_cgf`,
+:func:`acts_per_subarray_for`), this module defines the *session job*
+wrappers the experiment sweeps submit to a
+:class:`~repro.sim.session.SimSession`: :class:`CgfJob` and
+:class:`SubarrayStatsJob` make the counting measurements cacheable and
+process-pool dispatchable exactly like the timed ``SimJob`` runs.
+"""
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.rct import RegionCountTable
 from repro.cpu.trace import take
@@ -16,6 +26,13 @@ from repro.dram.mapping import (
 )
 from repro.dram.refresh import RefreshScheduler
 from repro.params import SimScale, SystemConfig
+from repro.sim.runner import MitigationSetup
+from repro.sim.session import (
+    SimJob,
+    SimSession,
+    get_default_session,
+    register_job_type,
+)
 from repro.workloads.specs import ALL_WORKLOADS, WorkloadSpec, \
     workload_by_name
 from repro.workloads.synthetic import SyntheticWorkload
@@ -42,6 +59,11 @@ def cgf_scale() -> SimScale:
     return SimScale(int(os.environ.get("REPRO_CGF_SCALE", "16")))
 
 
+def default_seed() -> int:
+    """Base RNG seed for simulation sweeps (REPRO_SEED, default 0)."""
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
 def selected_workloads(names: Optional[Iterable[str]] = None
                        ) -> List[WorkloadSpec]:
     """Workload list from the argument or REPRO_WORKLOADS."""
@@ -51,6 +73,25 @@ def selected_workloads(names: Optional[Iterable[str]] = None
             return list(ALL_WORKLOADS)
         names = [n for n in raw.split(",") if n.strip()] or DEFAULT_SUBSET
     return [workload_by_name(n.strip()) for n in names]
+
+
+def sweep_slowdowns(pairs: Sequence[Tuple[WorkloadSpec,
+                                          MitigationSetup]],
+                    scale: SimScale,
+                    seed: Optional[int] = None,
+                    session: Optional[SimSession] = None
+                    ) -> List[Tuple[float, "object"]]:
+    """(slowdown %, protected result) for each (workload, setup) pair.
+
+    The whole sweep -- protected runs plus their deduplicated
+    unprotected baselines -- is submitted to the session as one batch,
+    so it fans out over worker processes when the session (or the CLI's
+    ``--jobs`` flag) allows, with output identical to a serial sweep.
+    """
+    session = session or get_default_session()
+    seed = default_seed() if seed is None else seed
+    jobs = [SimJob(spec, setup, scale, seed) for spec, setup in pairs]
+    return session.slowdowns(jobs)
 
 
 @dataclass
@@ -158,3 +199,61 @@ def acts_per_subarray_for(spec: WorkloadSpec,
     mean = sum(values) / len(values)
     var = sum((v - mean) ** 2 for v in values) / len(values)
     return mean, var ** 0.5
+
+
+# ----------------------------------------------------------------------
+# Session jobs for the counting measurements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CgfJob:
+    """One :func:`measure_cgf` call as a cacheable session job."""
+
+    spec: WorkloadSpec
+    mapping_kind: str
+    fth: int
+    num_regions: int = 128
+    scale: SimScale = SimScale(512)
+    config: SystemConfig = SystemConfig()
+    seed: int = 0
+
+    def execute(self) -> CgfStats:
+        """Run the measurement (uncached; the worker-process path)."""
+        return measure_cgf(self.spec, self.mapping_kind, self.fth,
+                           self.num_regions, self.scale, self.config,
+                           self.seed)
+
+
+@dataclass(frozen=True)
+class SubarrayStatsJob:
+    """One :func:`acts_per_subarray_for` call as a session job."""
+
+    spec: WorkloadSpec
+    scale: SimScale = SimScale(512)
+    config: SystemConfig = SystemConfig()
+    seed: int = 0
+
+    def execute(self) -> Tuple[float, float]:
+        """Run the measurement (uncached; the worker-process path)."""
+        return acts_per_subarray_for(self.spec, self.scale,
+                                     self.config, self.seed)
+
+
+register_job_type(CgfJob, dataclasses.asdict,
+                  lambda payload: CgfStats(**payload))
+register_job_type(SubarrayStatsJob, list, tuple)
+
+
+def measure_cgf_many(jobs: Sequence[CgfJob],
+                     session: Optional[SimSession] = None
+                     ) -> List[CgfStats]:
+    """Run a batch of :class:`CgfJob` through the (default) session."""
+    session = session or get_default_session()
+    return session.run_many(jobs)
+
+
+def subarray_stats_many(jobs: Sequence[SubarrayStatsJob],
+                        session: Optional[SimSession] = None
+                        ) -> List[Tuple[float, float]]:
+    """Run :class:`SubarrayStatsJob` batches through the session."""
+    session = session or get_default_session()
+    return session.run_many(jobs)

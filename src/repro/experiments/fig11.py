@@ -11,9 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import default_scale, selected_workloads
+from repro.experiments.common import (
+    default_scale,
+    selected_workloads,
+    sweep_slowdowns,
+)
 from repro.params import SimScale
-from repro.sim.runner import mirza_setup, prac_setup, slowdown_for
+from repro.sim.runner import mirza_setup, prac_setup
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
 
 PAPER = {
@@ -35,21 +40,27 @@ class Fig11Result:
 
 def run(workloads: Optional[List[str]] = None,
         scale: Optional[SimScale] = None,
-        thresholds: Sequence[int] = (500, 1000, 2000)) -> Fig11Result:
+        thresholds: Sequence[int] = (500, 1000, 2000),
+        session: Optional[SimSession] = None) -> Fig11Result:
     """Execute the experiment; returns the structured results."""
     scale = scale or default_scale()
     specs = selected_workloads(workloads)
     result = Fig11Result()
     prac_sd, prac_alerts = [], []
+    pairs = []
+    for spec in specs:
+        pairs.append((spec, prac_setup(1000)))
+        pairs.extend((spec, mirza_setup(trhd, scale))
+                     for trhd in thresholds)
+    outcomes = iter(sweep_slowdowns(pairs, scale, session=session))
     for spec in specs:
         per = {}
-        sd, protected = slowdown_for(spec, prac_setup(1000), scale)
+        sd, protected = next(outcomes)
         per["prac"] = sd
         prac_sd.append(sd)
         prac_alerts.append(protected.alerts_per_100_trefi())
         for trhd in thresholds:
-            sd, protected = slowdown_for(
-                spec, mirza_setup(trhd, scale), scale)
+            sd, protected = next(outcomes)
             per[f"mirza-{trhd}"] = sd
             per[f"alerts-{trhd}"] = protected.alerts_per_100_trefi()
         result.per_workload[spec.name] = per

@@ -23,12 +23,14 @@ from typing import Dict, List, Optional
 
 from repro.core.config import MirzaConfig
 from repro.experiments.common import (
+    CgfJob,
     cgf_scale,
-    measure_cgf,
+    measure_cgf_many,
     selected_workloads,
 )
 from repro.params import MitigationCosts, SimScale, SystemConfig
 from repro.sim.runner import MINT_RFM_WINDOWS
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
 
 PAPER = {
@@ -46,24 +48,29 @@ class Fig13Result:
 def run(workloads: Optional[List[str]] = None,
         scale: Optional[SimScale] = None,
         thresholds=(500, 1000, 2000),
-        config: SystemConfig = SystemConfig()) -> Fig13Result:
+        config: SystemConfig = SystemConfig(),
+        session: Optional[SimSession] = None) -> Fig13Result:
     """Execute the experiment; returns the structured results."""
     scale = scale or cgf_scale()
     specs = selected_workloads(workloads)
     victims = MitigationCosts().victims_per_mitigation
     rows_per_bank = config.geometry.rows_per_bank
     result = Fig13Result()
-    for trhd in thresholds:
-        mirza_config = MirzaConfig.paper_config(trhd)
-        scaled_fth = scale.scale_threshold(mirza_config.fth)
+    mirza_configs = [MirzaConfig.paper_config(trhd)
+                     for trhd in thresholds]
+    jobs = [CgfJob(spec, "strided",
+                   scale.scale_threshold(mirza_config.fth),
+                   mirza_config.num_regions, scale)
+            for mirza_config in mirza_configs for spec in specs]
+    outcomes = iter(measure_cgf_many(jobs, session))
+    for trhd, mirza_config in zip(thresholds, mirza_configs):
         mint_vals, mirza_vals = [], []
         for spec in specs:
             acts = spec.acts_per_bank_per_window
             mint_rate = acts / MINT_RFM_WINDOWS[trhd]
             mint_vals.append(
                 100.0 * mint_rate * victims / rows_per_bank)
-            stats = measure_cgf(spec, "strided", scaled_fth,
-                                mirza_config.num_regions, scale)
+            stats = next(outcomes)
             escape = (stats.escaped / stats.total_acts
                       if stats.total_acts else 0.0)
             mirza_rate = acts * escape / mirza_config.mint_window

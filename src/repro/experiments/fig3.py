@@ -14,9 +14,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.params import SimScale
-from repro.sim.runner import mint_rfm_setup, prac_setup, slowdown_for
+from repro.sim.runner import mint_rfm_setup, prac_setup
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
-from repro.experiments.common import default_scale, selected_workloads
+from repro.experiments.common import (
+    default_scale,
+    selected_workloads,
+    sweep_slowdowns,
+)
 
 PAPER = {
     "mint_slowdown": {500: 11.1, 1000: 5.81, 2000: 3.08},
@@ -36,20 +41,26 @@ class Fig3Result:
 
 def run(workloads: Optional[List[str]] = None,
         scale: Optional[SimScale] = None,
-        thresholds=(500, 1000, 2000)) -> Fig3Result:
+        thresholds=(500, 1000, 2000),
+        session: Optional[SimSession] = None) -> Fig3Result:
     """Execute the experiment; returns the structured results."""
     scale = scale or default_scale()
     specs = selected_workloads(workloads)
     result = Fig3Result()
     prac_slowdowns = []
+    pairs = []
+    for spec in specs:
+        pairs.append((spec, prac_setup(1000)))
+        pairs.extend((spec, mint_rfm_setup(trhd))
+                     for trhd in thresholds)
+    outcomes = iter(sweep_slowdowns(pairs, scale, session=session))
     for spec in specs:
         per = {}
-        sd, _ = slowdown_for(spec, prac_setup(1000), scale)
+        sd, _ = next(outcomes)
         per["prac"] = sd
         prac_slowdowns.append(sd)
         for trhd in thresholds:
-            sd, protected = slowdown_for(spec, mint_rfm_setup(trhd),
-                                         scale)
+            sd, protected = next(outcomes)
             per[f"mint-{trhd}"] = sd
             # Scale the victim/demand ratio back to the full tREFW:
             # the demand sweep covers all rows once per window at any

@@ -12,11 +12,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.experiments.common import (
-    acts_per_subarray_for,
+    SubarrayStatsJob,
     cgf_scale,
     selected_workloads,
+    subarray_stats_many,
 )
 from repro.params import SimScale, max_acts_per_bank_per_trefw
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
 
 
@@ -36,12 +38,15 @@ class Fig6Result:
 
 
 def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None) -> Fig6Result:
+        scale: Optional[SimScale] = None,
+        session: Optional[SimSession] = None) -> Fig6Result:
     """Execute the experiment; returns the structured results."""
     scale = scale or cgf_scale()
+    specs = selected_workloads(workloads)
+    stats = subarray_stats_many(
+        [SubarrayStatsJob(spec, scale) for spec in specs], session)
     per_workload = {}
-    for spec in selected_workloads(workloads):
-        measured_mean, _ = acts_per_subarray_for(spec, scale)
+    for spec, (measured_mean, _) in zip(specs, stats):
         per_workload[spec.name] = measured_mean * scale.time_scale
     return Fig6Result(per_workload=per_workload,
                       worst_case=max_acts_per_bank_per_trefw())

@@ -16,6 +16,7 @@ from repro.core.config import MirzaConfig
 from repro.experiments import fig3, fig11
 from repro.experiments.table11 import attack_relative_throughput
 from repro.params import SimScale
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table
 
 PAPER = {
@@ -38,10 +39,11 @@ class Table13Row:
 
 
 def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None) -> List[Table13Row]:
+        scale: Optional[SimScale] = None,
+        session: Optional[SimSession] = None) -> List[Table13Row]:
     """Execute the experiment; returns the structured results."""
-    benign_rfm = fig3.run(workloads, scale)
-    benign_mirza = fig11.run(workloads, scale)
+    benign_rfm = fig3.run(workloads, scale, session=session)
+    benign_mirza = fig11.run(workloads, scale, session=session)
     rows = []
     for trhd in (500, 1000, 2000):
         window = MirzaConfig.paper_config(trhd).mint_window

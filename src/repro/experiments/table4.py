@@ -13,12 +13,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.experiments.common import (
-    acts_per_subarray_for,
+    SubarrayStatsJob,
     default_scale,
+    default_seed,
     selected_workloads,
 )
 from repro.params import SimScale
-from repro.sim.runner import run_baseline
+from repro.sim.runner import baseline_setup
+from repro.sim.session import (
+    SimJob,
+    SimSession,
+    get_default_session,
+)
 from repro.sim.stats import format_table
 
 
@@ -33,16 +39,23 @@ class WorkloadMeasurement:
 
 
 def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None
+        scale: Optional[SimScale] = None,
+        session: Optional[SimSession] = None
         ) -> Dict[str, WorkloadMeasurement]:
     """Execute the experiment; returns the structured results."""
     scale = scale or default_scale()
+    session = session or get_default_session()
+    specs = selected_workloads(workloads)
+    seed = default_seed()
+    baselines = session.run_many(
+        [SimJob(spec, baseline_setup(), scale, seed)
+         for spec in specs])
+    stats = session.run_many(
+        [SubarrayStatsJob(spec, scale, seed=seed) for spec in specs])
     out = {}
-    for spec in selected_workloads(workloads):
-        result = run_baseline(spec, scale)
+    for spec, result, (mean, std) in zip(specs, baselines, stats):
         instructions = sum(result.instructions)
         kilo = instructions / 1000.0 if instructions else 1.0
-        mean, std = acts_per_subarray_for(spec, scale)
         # Scale per-subarray stats back up to the full 32 ms window for
         # a like-for-like comparison with the paper's numbers.
         s = scale.time_scale

@@ -12,9 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import default_scale, selected_workloads
+from repro.experiments.common import (
+    default_scale,
+    selected_workloads,
+    sweep_slowdowns,
+)
 from repro.params import SimScale
-from repro.sim.runner import naive_mirza_setup, slowdown_for
+from repro.sim.runner import naive_mirza_setup
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
 
 PAPER = {
@@ -33,17 +38,20 @@ class Table5Result:
 def run(workloads: Optional[List[str]] = None,
         scale: Optional[SimScale] = None,
         windows: Sequence[int] = (24, 48, 96),
-        queue_sizes: Sequence[int] = (1, 2, 4, 8)) -> Table5Result:
+        queue_sizes: Sequence[int] = (1, 2, 4, 8),
+        session: Optional[SimSession] = None) -> Table5Result:
     """Execute the experiment; returns the structured results."""
     scale = scale or default_scale()
     specs = selected_workloads(workloads)
     result = Table5Result()
-    for window in windows:
-        for entries in queue_sizes:
-            setup = naive_mirza_setup(window, queue_entries=entries)
-            slowdowns = [slowdown_for(spec, setup, scale)[0]
-                         for spec in specs]
-            result.slowdown[(window, entries)] = mean(slowdowns)
+    grid = [(window, entries) for window in windows
+            for entries in queue_sizes]
+    pairs = [(spec, naive_mirza_setup(window, queue_entries=entries))
+             for window, entries in grid for spec in specs]
+    outcomes = iter(sweep_slowdowns(pairs, scale, session=session))
+    for window, entries in grid:
+        slowdowns = [next(outcomes)[0] for _ in specs]
+        result.slowdown[(window, entries)] = mean(slowdowns)
     return result
 
 

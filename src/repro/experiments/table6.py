@@ -13,11 +13,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
+    CgfJob,
     cgf_scale,
-    measure_cgf,
+    measure_cgf_many,
     selected_workloads,
 )
 from repro.params import SimScale
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
 
 PAPER = {
@@ -39,24 +41,28 @@ class Table6Result:
 def run(workloads: Optional[List[str]] = None,
         scale: Optional[SimScale] = None,
         fths: Sequence[int] = (1400, 1500, 1600, 1700),
-        num_regions: int = 128) -> Table6Result:
+        num_regions: int = 128,
+        session: Optional[SimSession] = None) -> Table6Result:
     """Execute the experiment; returns the structured results."""
     scale = scale or cgf_scale()
     specs = selected_workloads(workloads)
     result = Table6Result()
-    for fth in fths:
-        scaled_fth = scale.scale_threshold(fth)
-        for mapping in ("sequential", "strided"):
-            filtered = total = 0
-            for spec in specs:
-                stats = measure_cgf(spec, mapping, scaled_fth,
-                                    num_regions, scale)
-                filtered += stats.filtered
-                total += stats.total_acts
-            # ACT-weighted aggregate: the paper's percentages are over
-            # the pooled activation stream, so heavy workloads dominate.
-            result.filtered_pct[(fth, mapping)] = \
-                100.0 * filtered / total if total else 0.0
+    grid = [(fth, mapping) for fth in fths
+            for mapping in ("sequential", "strided")]
+    jobs = [CgfJob(spec, mapping, scale.scale_threshold(fth),
+                   num_regions, scale)
+            for fth, mapping in grid for spec in specs]
+    outcomes = iter(measure_cgf_many(jobs, session))
+    for fth, mapping in grid:
+        filtered = total = 0
+        for _ in specs:
+            stats = next(outcomes)
+            filtered += stats.filtered
+            total += stats.total_acts
+        # ACT-weighted aggregate: the paper's percentages are over
+        # the pooled activation stream, so heavy workloads dominate.
+        result.filtered_pct[(fth, mapping)] = \
+            100.0 * filtered / total if total else 0.0
     return result
 
 

@@ -13,12 +13,14 @@ from typing import List, Optional
 
 from repro.core.config import MirzaConfig
 from repro.experiments.common import (
+    CgfJob,
     cgf_scale,
-    measure_cgf,
+    measure_cgf_many,
     selected_workloads,
 )
 from repro.params import SimScale
 from repro.sim.runner import MINT_RFM_WINDOWS
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
 
 PAPER = {
@@ -47,18 +49,21 @@ class Table8Row:
 
 def run(workloads: Optional[List[str]] = None,
         scale: Optional[SimScale] = None,
-        thresholds=(2000, 1000, 500)) -> List[Table8Row]:
+        thresholds=(2000, 1000, 500),
+        session: Optional[SimSession] = None) -> List[Table8Row]:
     """Execute the experiment; returns the structured results."""
     scale = scale or cgf_scale()
     specs = selected_workloads(workloads)
+    configs = [MirzaConfig.paper_config(trhd) for trhd in thresholds]
+    jobs = [CgfJob(spec, "strided", scale.scale_threshold(config.fth),
+                   config.num_regions, scale)
+            for config in configs for spec in specs]
+    outcomes = iter(measure_cgf_many(jobs, session))
     rows = []
-    for trhd in thresholds:
-        config = MirzaConfig.paper_config(trhd)
-        scaled_fth = scale.scale_threshold(config.fth)
+    for trhd, config in zip(thresholds, configs):
         escaped = total = 0
-        for spec in specs:
-            stats = measure_cgf(spec, "strided", scaled_fth,
-                                config.num_regions, scale)
+        for _ in specs:
+            stats = next(outcomes)
             escaped += stats.escaped
             total += stats.total_acts
         # ACT-weighted pooled escape probability, as in the paper.

@@ -14,12 +14,15 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import MirzaConfig
 from repro.experiments.common import (
+    CgfJob,
     default_scale,
-    measure_cgf,
+    measure_cgf_many,
     selected_workloads,
+    sweep_slowdowns,
 )
 from repro.params import SimScale
-from repro.sim.runner import mirza_setup, slowdown_for
+from repro.sim.runner import mirza_setup
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
 
 PAPER_POINTS = [(4, 1820), (8, 1660), (12, 1500), (16, 1350)]
@@ -38,22 +41,25 @@ class Table9Row:
 
 def run(workloads: Optional[List[str]] = None,
         scale: Optional[SimScale] = None,
-        points: Sequence[Tuple[int, int]] = tuple(PAPER_POINTS)
-        ) -> List[Table9Row]:
+        points: Sequence[Tuple[int, int]] = tuple(PAPER_POINTS),
+        session: Optional[SimSession] = None) -> List[Table9Row]:
     """Execute the experiment; returns the structured results."""
     scale = scale or default_scale()
     specs = selected_workloads(workloads)
+    configs = [MirzaConfig(trhd=1000, fth=fth, mint_window=window,
+                           num_regions=128)
+               for window, fth in points]
+    pairs = [(spec, mirza_setup(1000, scale, config=config))
+             for config in configs for spec in specs]
+    outcomes = iter(sweep_slowdowns(pairs, scale, session=session))
+    cgf_jobs = [CgfJob(spec, "strided", scale.scale_threshold(fth),
+                       128, scale)
+                for window, fth in points for spec in specs]
+    cgf_stats = iter(measure_cgf_many(cgf_jobs, session))
     rows = []
-    for window, fth in points:
-        config = MirzaConfig(trhd=1000, fth=fth, mint_window=window,
-                             num_regions=128)
-        setup = mirza_setup(1000, scale, config=config)
-        slowdowns = [slowdown_for(spec, setup, scale)[0]
-                     for spec in specs]
-        scaled_fth = scale.scale_threshold(fth)
-        remaining = [measure_cgf(spec, "strided", scaled_fth, 128,
-                                 scale).remaining_pct
-                     for spec in specs]
+    for (window, fth), config in zip(points, configs):
+        slowdowns = [next(outcomes)[0] for _ in specs]
+        remaining = [next(cgf_stats).remaining_pct for _ in specs]
         rows.append(Table9Row(
             mint_window=window, fth=fth,
             slowdown_pct=mean(slowdowns),

@@ -1,34 +1,69 @@
 """Experiment runner: (workload x mitigation) -> measurements.
 
 :mod:`repro.sim.runner` builds fully-wired systems for each mitigation
-configuration the paper evaluates and caches unprotected baselines so
-slowdowns are always measured against the same run.
-:mod:`repro.sim.stats` holds the small numeric/table helpers the
-experiment modules share.
+configuration the paper evaluates; :mod:`repro.sim.session` is the
+execution substrate -- a :class:`SimSession` owning a content-addressed
+result cache and process-pool fan-out, so sweeps parallelise across
+cores and repeated runs are served from disk.
+:mod:`repro.sim.registry` names the paper's setups ("mirza-1000", ...)
+for CLIs and sweep scripts, and :mod:`repro.sim.stats` holds the small
+numeric/table helpers the experiment modules share.
 """
 
 from repro.sim.runner import (
     MitigationSetup,
     baseline_setup,
+    calibrated_workload,
     mint_rfm_setup,
     mirza_setup,
+    mist_setup,
     naive_mirza_setup,
     prac_setup,
+    run_baseline,
     run_workload,
+    simulate,
     slowdown_for,
+)
+from repro.sim.registry import (
+    available_setups,
+    register_setup,
+    setup_by_name,
+)
+from repro.sim.session import (
+    SimJob,
+    SimSession,
+    get_default_session,
+    job_token,
+    register_job_type,
+    set_default_session,
+    using_session,
 )
 from repro.sim.stats import format_table, geometric_mean, mean
 
 __all__ = [
     "MitigationSetup",
+    "SimJob",
+    "SimSession",
+    "available_setups",
     "baseline_setup",
+    "calibrated_workload",
     "format_table",
     "geometric_mean",
+    "get_default_session",
+    "job_token",
     "mean",
     "mint_rfm_setup",
     "mirza_setup",
+    "mist_setup",
     "naive_mirza_setup",
     "prac_setup",
+    "register_job_type",
+    "register_setup",
+    "run_baseline",
     "run_workload",
+    "set_default_session",
+    "setup_by_name",
+    "simulate",
     "slowdown_for",
+    "using_session",
 ]

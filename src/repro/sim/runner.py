@@ -1,11 +1,14 @@
 """Builds and runs (workload x mitigation) simulations.
 
-Every experiment module goes through :func:`run_workload`: it wires a
-:class:`repro.cpu.system.MultiCoreSystem` for the requested mitigation
-setup, drives one scaled refresh window, and returns the
-:class:`repro.cpu.system.SimResult`.  Unprotected baselines are cached
-per (workload, scale, seed) so that all slowdown numbers within a
-process compare against identical runs.
+Every experiment module ultimately goes through :func:`simulate`: it
+wires a :class:`repro.cpu.system.MultiCoreSystem` for the requested
+mitigation setup, drives one scaled refresh window, and returns the
+:class:`repro.cpu.system.SimResult`.  The public entry points
+(:func:`run_workload`, :func:`run_baseline`, :func:`slowdown_for`) are
+thin wrappers that route through the default
+:class:`repro.sim.session.SimSession`, which memoises results by a
+content hash of (workload, setup, scale, seed, config) and can fan
+independent runs out over worker processes.
 
 Mitigation setups mirror the paper's configurations:
 
@@ -16,8 +19,15 @@ Mitigation setups mirror the paper's configurations:
   (W = 24/48/96 for TRHD 500/1000/2000, Figure 3).
 - ``naive_mirza_setup`` -- MINT+ABO with a MIRZA-Q but no filtering
   (Table V).
+- ``mist_setup``        -- MC-side DRFM sampling (Section X extension).
 - ``mirza_setup``       -- the full mechanism with strided
   row-to-subarray mapping (Figure 11).
+
+The tracker/DRFM factories inside a setup are small frozen dataclasses
+rather than closures, so a :class:`MitigationSetup` is both *picklable*
+(it can cross a process-pool boundary) and *hashable by content* (the
+session can cache its results).  A setup built around a hand-rolled
+closure still works -- it just runs in-process and uncached.
 """
 
 from __future__ import annotations
@@ -38,7 +48,7 @@ from repro.mitigations.base import BankTracker
 from repro.mitigations.mint_rfm import MintTracker
 from repro.mitigations.naive_mirza import NaiveMirzaTracker
 from repro.mitigations.prac import PracTracker
-from repro.params import SimScale, SystemConfig
+from repro.params import DramGeometry, SimScale, SystemConfig
 from repro.workloads.specs import WorkloadSpec, workload_by_name
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -69,6 +79,84 @@ class MitigationSetup:
         return SequentialR2SA(config.geometry)
 
 
+# ----------------------------------------------------------------------
+# Picklable tracker/DRFM factories
+# ----------------------------------------------------------------------
+def _bank_rng(seed: int, subch: int, bank: int) -> random.Random:
+    """The per-(seed, subchannel, bank) RNG every tracker derives from."""
+    return random.Random(seed * 100_003 + subch * 257 + bank)
+
+
+@dataclass(frozen=True)
+class _PracFactory:
+    """Per-row PRAC counter trackers (no randomness)."""
+
+    trhd: int
+
+    def __call__(self, seed: int, subch: int, bank: int) -> BankTracker:
+        return PracTracker(self.trhd)
+
+
+@dataclass(frozen=True)
+class _MintFactory:
+    """Proactive MINT trackers paced by an RFM window."""
+
+    window: int
+
+    def __call__(self, seed: int, subch: int, bank: int) -> BankTracker:
+        return MintTracker(self.window, refs_per_mitigation=0,
+                           rng=_bank_rng(seed, subch, bank))
+
+
+@dataclass(frozen=True)
+class _NaiveMirzaFactory:
+    """MINT + MIRZA-Q trackers without coarse-grained filtering."""
+
+    window: int
+    queue_entries: int
+    qth: int
+
+    def __call__(self, seed: int, subch: int, bank: int) -> BankTracker:
+        return NaiveMirzaTracker(self.window, self.queue_entries,
+                                 self.qth,
+                                 rng=_bank_rng(seed, subch, bank))
+
+
+@dataclass(frozen=True)
+class _MirzaFactory:
+    """Full MIRZA trackers for one (already scaled) configuration."""
+
+    config: MirzaConfig
+    mapping: str = "strided"
+
+    def __call__(self, seed: int, subch: int, bank: int) -> BankTracker:
+        geometry = DramGeometry()
+        r2sa = (StridedR2SA(geometry) if self.mapping == "strided"
+                else SequentialR2SA(geometry))
+        return MirzaTracker(self.config, geometry, r2sa,
+                            _bank_rng(seed, subch, bank))
+
+
+@dataclass(frozen=True)
+class _MistDrfmFactory:
+    """MC-side DRFM engines (MIST-style sampling, Section X)."""
+
+    sample_window: int
+    acts_per_drfm: int
+    min_samples: int = 1
+
+    def __call__(self, seed: int, subch: int):
+        from repro.mc.drfm import DrfmEngine
+        rng = random.Random(seed * 7919 + subch * 31 + 5)
+        return DrfmEngine(DramGeometry().banks_per_subchannel,
+                          sample_window=self.sample_window,
+                          acts_per_drfm=self.acts_per_drfm,
+                          min_samples=self.min_samples, rng=rng)
+
+
+# ----------------------------------------------------------------------
+# Setup constructors
+# ----------------------------------------------------------------------
 def baseline_setup(mapping: str = "sequential") -> MitigationSetup:
     """The unprotected baseline system."""
     return MitigationSetup(name="baseline", mapping=mapping)
@@ -76,9 +164,8 @@ def baseline_setup(mapping: str = "sequential") -> MitigationSetup:
 
 def prac_setup(trhd: int) -> MitigationSetup:
     """PRAC+ABO with the inflated Table I timings."""
-    def factory(seed: int, subch: int, bank: int) -> BankTracker:
-        return PracTracker(trhd)
-    return MitigationSetup(name=f"prac-{trhd}", tracker_factory=factory,
+    return MitigationSetup(name=f"prac-{trhd}",
+                           tracker_factory=_PracFactory(trhd),
                            use_prac_timings=True,
                            extra={"trhd": trhd})
 
@@ -88,12 +175,9 @@ def mint_rfm_setup(trhd: int,
     """Proactive MINT paced by RFM every ``window`` activations."""
     if window is None:
         window = MINT_RFM_WINDOWS[trhd]
-
-    def factory(seed: int, subch: int, bank: int) -> BankTracker:
-        rng = random.Random(seed * 100_003 + subch * 257 + bank)
-        return MintTracker(window, refs_per_mitigation=0, rng=rng)
     return MitigationSetup(name=f"mint-rfm-{trhd}",
-                           tracker_factory=factory, rfm_bat=window,
+                           tracker_factory=_MintFactory(window),
+                           rfm_bat=window,
                            extra={"trhd": trhd, "window": window})
 
 
@@ -101,12 +185,10 @@ def naive_mirza_setup(mint_window: int,
                       queue_entries: int = 4,
                       qth: int = 16) -> MitigationSetup:
     """MINT + ABO with a queue but no filtering (Section IV-A)."""
-    def factory(seed: int, subch: int, bank: int) -> BankTracker:
-        rng = random.Random(seed * 100_003 + subch * 257 + bank)
-        return NaiveMirzaTracker(mint_window, queue_entries, qth, rng=rng)
     return MitigationSetup(
         name=f"naive-mirza-w{mint_window}-q{queue_entries}",
-        tracker_factory=factory,
+        tracker_factory=_NaiveMirzaFactory(mint_window, queue_entries,
+                                           qth),
         extra={"window": mint_window, "queue": queue_entries})
 
 
@@ -119,21 +201,14 @@ def mist_setup(trhd: int, sample_window: Optional[int] = None,
     per-bank MINT-style sample window sized like the MINT+RFM baseline
     for the same threshold.
     """
-    from repro.mc.drfm import DrfmEngine
-    from repro.params import DramGeometry
     window = (sample_window if sample_window is not None
               else MINT_RFM_WINDOWS[trhd])
     cadence = (acts_per_drfm if acts_per_drfm is not None
                else window * DramGeometry().banks_per_subchannel // 8)
-
-    def factory(seed: int, subch: int):
-        rng = random.Random(seed * 7919 + subch * 31 + 5)
-        return DrfmEngine(DramGeometry().banks_per_subchannel,
-                          sample_window=window,
-                          acts_per_drfm=cadence,
-                          min_samples=min_samples, rng=rng)
-    return MitigationSetup(name=f"mist-{trhd}", drfm_factory=factory,
-                           extra={"trhd": trhd, "window": window})
+    return MitigationSetup(
+        name=f"mist-{trhd}",
+        drfm_factory=_MistDrfmFactory(window, cadence, min_samples),
+        extra={"trhd": trhd, "window": window})
 
 
 def mirza_setup(trhd: int, scale: SimScale = SimScale(),
@@ -143,15 +218,9 @@ def mirza_setup(trhd: int, scale: SimScale = SimScale(),
     mirza_config = (config if config is not None
                     else MirzaConfig.paper_config(trhd))
     scaled = mirza_config.scaled(scale.time_scale)
-
-    def factory(seed: int, subch: int, bank: int) -> BankTracker:
-        rng = random.Random(seed * 100_003 + subch * 257 + bank)
-        from repro.params import DramGeometry
-        geometry = DramGeometry()
-        r2sa = (StridedR2SA(geometry) if mapping == "strided"
-                else SequentialR2SA(geometry))
-        return MirzaTracker(scaled, geometry, r2sa, rng)
-    return MitigationSetup(name=f"mirza-{trhd}", tracker_factory=factory,
+    return MitigationSetup(name=f"mirza-{trhd}",
+                           tracker_factory=_MirzaFactory(scaled,
+                                                         mapping),
                            mapping=mapping,
                            extra={"trhd": trhd, "config": scaled})
 
@@ -159,7 +228,6 @@ def mirza_setup(trhd: int, scale: SimScale = SimScale(),
 # ----------------------------------------------------------------------
 # Running
 # ----------------------------------------------------------------------
-_BASELINE_CACHE: Dict[Tuple, SimResult] = {}
 _WORKLOAD_CACHE: Dict[Tuple, SyntheticWorkload] = {}
 
 
@@ -181,7 +249,9 @@ def calibrated_workload(workload: Union[str, WorkloadSpec],
     ~2x.  This helper closes the loop: it runs short unprotected probe
     windows and adjusts the per-miss compute budget until the measured
     activations per bank per window are within 8% of the workload's
-    published mean (cached per (workload, scale, seed))."""
+    published mean (cached per (workload, scale, seed)).  The whole
+    procedure is deterministic, so worker processes converge on exactly
+    the calibration the parent would have computed."""
     spec = _resolve(workload)
     key = (spec.name, scale.time_scale, seed)
     if key in _WORKLOAD_CACHE:
@@ -213,12 +283,19 @@ def calibrated_workload(workload: Union[str, WorkloadSpec],
     return synthetic
 
 
-def run_workload(workload: Union[str, WorkloadSpec],
-                 setup: MitigationSetup,
-                 scale: SimScale = SimScale(64),
-                 seed: int = 0,
-                 config: SystemConfig = SystemConfig()) -> SimResult:
-    """Simulate one scaled refresh window of ``workload`` under ``setup``."""
+def simulate(workload: Union[str, WorkloadSpec],
+             setup: MitigationSetup,
+             scale: SimScale = SimScale(64),
+             seed: int = 0,
+             config: SystemConfig = SystemConfig()) -> SimResult:
+    """Simulate one scaled refresh window -- always fresh, never cached.
+
+    This is the pure compute kernel underneath the session: a
+    deterministic function of its arguments that both the in-process
+    path and the process-pool workers call.  Use :func:`run_workload`
+    (or a :class:`~repro.sim.session.SimSession`) unless you
+    specifically need to bypass result caching.
+    """
     spec = _resolve(workload)
     sys_config = (config.with_prac_timings() if setup.use_prac_timings
                   else config)
@@ -245,17 +322,37 @@ def run_workload(workload: Union[str, WorkloadSpec],
     return system.run(window)
 
 
+def run_workload(workload: Union[str, WorkloadSpec],
+                 setup: MitigationSetup,
+                 scale: SimScale = SimScale(64),
+                 seed: int = 0,
+                 config: SystemConfig = SystemConfig()) -> SimResult:
+    """Simulate one scaled refresh window of ``workload`` under ``setup``.
+
+    Routes through the default :class:`~repro.sim.session.SimSession`,
+    so identical runs are served from the content-addressed result
+    cache.  Setups built from the library factories cache and fan out;
+    ad-hoc closure setups silently fall back to fresh in-process runs.
+    """
+    from repro.sim.session import SimJob, get_default_session
+    return get_default_session().run(
+        SimJob(workload, setup, scale, seed, config))
+
+
 def run_baseline(workload: Union[str, WorkloadSpec],
                  scale: SimScale = SimScale(64),
                  seed: int = 0,
                  config: SystemConfig = SystemConfig()) -> SimResult:
-    """Cached unprotected baseline for slowdown comparisons."""
-    spec = _resolve(workload)
-    key = (spec.name, scale.time_scale, seed, id(type(config)))
-    if key not in _BASELINE_CACHE:
-        _BASELINE_CACHE[key] = run_workload(spec, baseline_setup(),
-                                            scale, seed, config)
-    return _BASELINE_CACHE[key]
+    """Cached unprotected baseline for slowdown comparisons.
+
+    The cache key is the session's content hash over (workload, scale,
+    seed, *and every field of* ``config``) -- two different
+    ``SystemConfig`` values never collide, unlike the historical
+    ``id(type(config))`` key.
+    """
+    from repro.sim.session import SimJob, get_default_session
+    return get_default_session().run(
+        SimJob(workload, baseline_setup(), scale, seed, config))
 
 
 def slowdown_for(workload: Union[str, WorkloadSpec],
@@ -265,6 +362,6 @@ def slowdown_for(workload: Union[str, WorkloadSpec],
                  config: SystemConfig = SystemConfig()
                  ) -> Tuple[float, SimResult]:
     """(percent slowdown vs baseline, protected-run result)."""
-    baseline = run_baseline(workload, scale, seed, config)
-    protected = run_workload(workload, setup, scale, seed, config)
-    return protected.slowdown_pct(baseline), protected
+    from repro.sim.session import SimJob, get_default_session
+    return get_default_session().slowdown(
+        SimJob(workload, setup, scale, seed, config))

@@ -1,0 +1,432 @@
+"""Simulation sessions: parallel fan-out + a persistent result cache.
+
+A :class:`SimSession` is the execution substrate every sweep in this
+repository runs on.  It owns two things:
+
+1. **A content-addressed result cache.**  Every job (a
+   :class:`SimJob`, or any registered job type such as the counting
+   jobs in :mod:`repro.experiments.common`) is hashed into a stable
+   token derived from the *values* of its workload spec, mitigation
+   setup, scale, seed, and system configuration -- never from object
+   identities.  Results are memoised in memory and, when enabled,
+   serialized to JSON under a cache directory (``REPRO_CACHE_DIR`` or
+   ``~/.cache/repro``), so repeated invocations of the report or the
+   benchmarks skip work they have already done.
+
+2. **A process-pool fan-out API.**  :meth:`SimSession.run_many`
+   dispatches independent jobs to worker processes and merges the
+   results back in submission order.  Every job is a pure function of
+   its content (traces are freshly seeded per run), so parallel output
+   is byte-identical to a serial run.
+
+The legacy entry points (:func:`repro.sim.runner.run_workload`,
+``run_baseline``, ``slowdown_for``) are thin wrappers over a default
+session; :func:`using_session` scopes a differently-configured session
+(e.g. the CLI's ``--jobs``/``--cache-dir`` one) over a region of code.
+
+Example::
+
+    from repro.sim import SimJob, SimSession, mirza_setup
+    from repro.params import SimScale
+
+    session = SimSession(max_workers=4)
+    scale = SimScale(512)
+    jobs = [SimJob("tc", mirza_setup(trhd, scale), scale)
+            for trhd in (500, 1000, 2000)]
+    for slowdown, result in session.slowdowns(jobs):
+        print(slowdown, result.alerts_per_100_trefi())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.cpu.system import SimResult
+from repro.params import (
+    AboTimings,
+    DramGeometry,
+    DramTimings,
+    MitigationCosts,
+    SimScale,
+    SystemConfig,
+)
+from repro.workloads.specs import WorkloadSpec, workload_by_name
+
+CACHE_FORMAT = 1
+"""Bump when job hashing or result serialization changes shape."""
+
+_MISS = object()
+"""Internal sentinel distinguishing 'no cached value' from any result."""
+
+
+class Undescribable(TypeError):
+    """Raised when a job holds state with no canonical description.
+
+    Typical cause: a :class:`~repro.sim.runner.MitigationSetup` built
+    around an ad-hoc closure instead of the library's picklable factory
+    objects.  Such jobs still *run* -- they are simply executed fresh,
+    in-process, and never cached.
+    """
+
+
+def describe(obj: Any) -> Any:
+    """Canonical JSON-able description of a job component.
+
+    Dataclasses map to ``{"__class__": name, field: value, ...}`` over
+    their *comparison* fields (``compare=False`` fields, like
+    ``MitigationSetup.extra``, are deliberately excluded); containers
+    and primitives map to themselves.  Anything else -- closures, open
+    files, arbitrary objects -- raises :class:`Undescribable`.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        description: Dict[str, Any] = {
+            "__class__": type(obj).__qualname__}
+        for field in dataclasses.fields(obj):
+            if not field.compare:
+                continue
+            description[field.name] = describe(getattr(obj, field.name))
+        return description
+    if isinstance(obj, (list, tuple)):
+        return [describe(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): describe(obj[key])
+                for key in sorted(obj, key=str)}
+    raise Undescribable(f"no canonical description for {obj!r}")
+
+
+def job_token(job: Any) -> Optional[str]:
+    """Stable content hash of a job, or ``None`` if it has none.
+
+    The token is a SHA-256 over the canonical JSON description plus the
+    cache format version: equal-valued jobs built independently hash
+    identically, and *any* differing field -- including individual
+    ``SystemConfig`` values, which the old ``run_baseline`` key
+    (``id(type(config))``) conflated -- yields a different token.
+    """
+    try:
+        payload = {"format": CACHE_FORMAT, "job": describe(job)}
+    except Undescribable:
+        return None
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Jobs and result codecs
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class SimJob:
+    """One independent (workload, mitigation, scale, seed, config) run."""
+
+    workload: Union[str, WorkloadSpec]
+    setup: Any  # a repro.sim.runner.MitigationSetup
+    scale: SimScale = SimScale(64)
+    seed: int = 0
+    config: SystemConfig = SystemConfig()
+
+    def resolved(self) -> "SimJob":
+        """The same job with a workload *name* resolved to its spec."""
+        if isinstance(self.workload, str):
+            return dataclasses.replace(
+                self, workload=workload_by_name(self.workload))
+        return self
+
+    def execute(self) -> SimResult:
+        """Run the simulation, uncached (the worker-process path)."""
+        from repro.sim.runner import simulate
+        return simulate(self.workload, self.setup, self.scale,
+                        self.seed, self.config)
+
+
+_CODECS: Dict[type, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] \
+    = {}
+
+
+def register_job_type(job_type: type,
+                      encode: Callable[[Any], Any],
+                      decode: Callable[[Any], Any]) -> None:
+    """Register the disk-cache codec for one job class's results.
+
+    ``encode`` maps a result to a JSON-able payload; ``decode`` inverts
+    it.  Job types without a codec still run and memoise in memory --
+    they just never persist to disk.
+    """
+    _CODECS[job_type] = (encode, decode)
+
+
+def _system_config_from(data: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from its ``asdict`` payload."""
+    kwargs = dict(data)
+    kwargs["timings"] = DramTimings(**kwargs["timings"])
+    kwargs["abo"] = AboTimings(**kwargs["abo"])
+    kwargs["geometry"] = DramGeometry(**kwargs["geometry"])
+    kwargs["costs"] = MitigationCosts(**kwargs["costs"])
+    return SystemConfig(**kwargs)
+
+
+def encode_sim_result(result: SimResult) -> Dict[str, Any]:
+    """Serialize a :class:`SimResult` to a JSON-able dict."""
+    return dataclasses.asdict(result)
+
+
+def decode_sim_result(payload: Dict[str, Any]) -> SimResult:
+    """Inverse of :func:`encode_sim_result` (floats round-trip exactly)."""
+    data = dict(payload)
+    data["config"] = _system_config_from(data["config"])
+    return SimResult(**data)
+
+
+register_job_type(SimJob, encode_sim_result, decode_sim_result)
+
+
+def _execute(job: Any) -> Any:
+    """Process-pool entry point: run one job, return its result."""
+    return job.execute()
+
+
+# ----------------------------------------------------------------------
+# The session
+# ----------------------------------------------------------------------
+def default_cache_dir() -> str:
+    """The on-disk cache root: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+class SimSession:
+    """Owns result caching and parallel fan-out for simulation jobs.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the persistent JSON result cache.  ``None``
+        resolves ``REPRO_CACHE_DIR`` and then ``~/.cache/repro``.
+    disk_cache:
+        ``True``/``False`` force the on-disk cache on or off; ``None``
+        (the library default) enables it only when a ``cache_dir`` was
+        given explicitly or ``REPRO_CACHE_DIR`` is set, so plain
+        library use stays memory-only.
+    max_workers:
+        Default process fan-out for :meth:`run_many`.  ``None`` falls
+        back to the ``REPRO_JOBS`` environment variable, then to 1
+        (serial).  Parallel runs produce byte-identical results to
+        serial ones; the knob only trades wall-clock for cores.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 disk_cache: Optional[bool] = None,
+                 max_workers: Optional[int] = None) -> None:
+        if disk_cache is None:
+            disk_cache = (cache_dir is not None
+                          or bool(os.environ.get("REPRO_CACHE_DIR")))
+        self.cache_dir = str(cache_dir) if cache_dir \
+            else default_cache_dir()
+        self.disk_cache = bool(disk_cache)
+        self.max_workers = max_workers
+        self._memory: Dict[str, Any] = {}
+        self.stats: Dict[str, int] = {
+            "memory_hits": 0, "disk_hits": 0, "misses": 0}
+
+    # -- public API ----------------------------------------------------
+    def run(self, job: Any) -> Any:
+        """Run (or fetch from cache) a single job."""
+        return self.run_many([job])[0]
+
+    def run_many(self, jobs: Iterable[Any],
+                 max_workers: Optional[int] = None) -> List[Any]:
+        """Run a batch of independent jobs; results in submission order.
+
+        Cache hits are served without computing; distinct jobs with
+        identical content are computed once.  With more than one worker
+        the cache misses fan out over a ``ProcessPoolExecutor``; the
+        merged output is identical to a serial run because every job is
+        a pure function of its content.
+        """
+        jobs = [job.resolved() if hasattr(job, "resolved") else job
+                for job in jobs]
+        tokens = [job_token(job) for job in jobs]
+        results: List[Any] = [_MISS] * len(jobs)
+        pending: Dict[str, Any] = {}
+        untokened: List[int] = []
+        for index, (job, token) in enumerate(zip(jobs, tokens)):
+            if token is None:
+                untokened.append(index)
+                continue
+            hit = self._lookup(token, type(job))
+            if hit is not _MISS:
+                results[index] = hit
+            elif token not in pending:
+                pending[token] = job
+        unique = list(pending.items())
+        workers = self._effective_workers(max_workers, len(unique))
+        if workers > 1 and len(unique) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                computed = list(pool.map(
+                    _execute, [job for _, job in unique]))
+        else:
+            computed = [job.execute() for _, job in unique]
+        self.stats["misses"] += len(unique) + len(untokened)
+        for (token, job), result in zip(unique, computed):
+            self._store(token, type(job), result)
+        for index, token in enumerate(tokens):
+            if results[index] is _MISS and token is not None:
+                results[index] = self._memory[token]
+        for index in untokened:
+            results[index] = jobs[index].execute()
+        return results
+
+    def slowdown(self, job: SimJob) -> Tuple[float, SimResult]:
+        """(percent slowdown vs unprotected baseline, protected run)."""
+        return self.slowdowns([job])[0]
+
+    def slowdowns(self, jobs: Iterable[SimJob],
+                  max_workers: Optional[int] = None
+                  ) -> List[Tuple[float, SimResult]]:
+        """Batched :meth:`slowdown`: one fan-out for the whole sweep.
+
+        The matching unprotected baseline jobs are derived, deduplicated
+        through the cache, and executed in the *same* process-pool batch
+        as the protected runs, so a sweep over many setups of one
+        workload pays for its baseline exactly once.
+        """
+        from repro.sim.runner import baseline_setup
+        jobs = [job.resolved() for job in jobs]
+        baselines = [dataclasses.replace(job, setup=baseline_setup())
+                     for job in jobs]
+        results = self.run_many(baselines + jobs,
+                                max_workers=max_workers)
+        count = len(jobs)
+        return [(protected.slowdown_pct(baseline), protected)
+                for baseline, protected in zip(results[:count],
+                                               results[count:])]
+
+    def clear(self, memory: bool = True, disk: bool = False) -> None:
+        """Drop cached results (the in-memory map, optionally disk)."""
+        if memory:
+            self._memory.clear()
+        if disk and self.disk_cache and os.path.isdir(self.cache_dir):
+            for shard in os.listdir(self.cache_dir):
+                shard_dir = os.path.join(self.cache_dir, shard)
+                if len(shard) != 2 or not os.path.isdir(shard_dir):
+                    continue
+                for name in os.listdir(shard_dir):
+                    if name.endswith(".json"):
+                        try:
+                            os.unlink(os.path.join(shard_dir, name))
+                        except OSError:
+                            pass
+
+    # -- internals -----------------------------------------------------
+    def _effective_workers(self, override: Optional[int],
+                           pending_count: int) -> int:
+        """Resolve the worker count: arg > session > REPRO_JOBS > 1."""
+        workers = override if override is not None else self.max_workers
+        if workers is None:
+            workers = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        return max(1, min(int(workers), max(1, pending_count)))
+
+    def _lookup(self, token: str, job_type: type) -> Any:
+        """Memory then disk lookup; returns ``_MISS`` when absent."""
+        if token in self._memory:
+            self.stats["memory_hits"] += 1
+            return self._memory[token]
+        if self.disk_cache and job_type in _CODECS:
+            payload = self._disk_read(token)
+            if payload is not None:
+                try:
+                    result = _CODECS[job_type][1](payload)
+                except (TypeError, ValueError, KeyError):
+                    return _MISS  # stale/corrupt entry: recompute
+                self.stats["disk_hits"] += 1
+                self._memory[token] = result
+                return result
+        return _MISS
+
+    def _store(self, token: str, job_type: type, result: Any) -> None:
+        """Memoise a freshly-computed result (and persist if enabled)."""
+        self._memory[token] = result
+        if self.disk_cache and job_type in _CODECS:
+            self._disk_write(token, _CODECS[job_type][0](result))
+
+    def _entry_path(self, token: str) -> str:
+        """Sharded cache path for one token."""
+        return os.path.join(self.cache_dir, token[:2], token + ".json")
+
+    def _disk_read(self, token: str) -> Optional[Any]:
+        """Load one cache entry's payload, or ``None`` on any failure."""
+        try:
+            with open(self._entry_path(token), "r") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if entry.get("format") != CACHE_FORMAT:
+            return None
+        return entry.get("result")
+
+    def _disk_write(self, token: str, payload: Any) -> None:
+        """Atomically persist one cache entry (best-effort)."""
+        path = self._entry_path(token)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "w") as handle:
+                json.dump({"format": CACHE_FORMAT, "result": payload},
+                          handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# The default session
+# ----------------------------------------------------------------------
+_DEFAULT_SESSION: Optional[SimSession] = None
+
+
+def get_default_session() -> SimSession:
+    """The process-wide session behind the legacy ``run_*`` wrappers."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = SimSession()
+    return _DEFAULT_SESSION
+
+
+def set_default_session(session: Optional[SimSession]
+                        ) -> Optional[SimSession]:
+    """Install ``session`` as the default; returns the previous one."""
+    global _DEFAULT_SESSION
+    previous = _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+    return previous
+
+
+@contextmanager
+def using_session(session: SimSession):
+    """Scope ``session`` as the default over a ``with`` block."""
+    previous = set_default_session(session)
+    try:
+        yield session
+    finally:
+        set_default_session(previous)

@@ -1,0 +1,69 @@
+"""Tests for the named mitigation-setup registry."""
+
+import pytest
+
+from repro.params import SimScale
+from repro.sim.registry import (
+    _REGISTRY,
+    available_setups,
+    register_setup,
+    setup_by_name,
+)
+from repro.sim.runner import MINT_RFM_WINDOWS, baseline_setup
+
+
+class TestCatalogue:
+    def test_paper_configurations_are_registered(self):
+        names = available_setups()
+        assert "baseline" in names
+        for trhd in (500, 1000, 2000):
+            for family in ("prac", "mint-rfm", "naive-mirza", "mist",
+                           "mirza"):
+                assert f"{family}-{trhd}" in names
+
+    def test_baseline_matches_constructor(self):
+        assert setup_by_name("baseline") == baseline_setup()
+
+    def test_mirza_uses_strided_mapping(self):
+        assert setup_by_name("mirza-1000").mapping == "strided"
+
+    def test_mirza_threshold_scales_with_the_window(self):
+        mild = setup_by_name("mirza-1000", SimScale(64))
+        deep = setup_by_name("mirza-1000", SimScale(2048))
+        assert mild != deep  # the scaled FTH differs
+
+    def test_prac_uses_prac_timings(self):
+        assert setup_by_name("prac-1000").use_prac_timings
+
+    def test_mint_rfm_window_matches_threshold(self):
+        setup = setup_by_name("mint-rfm-500")
+        assert setup.rfm_bat == MINT_RFM_WINDOWS[500]
+
+
+class TestRegistration:
+    def test_unknown_name_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="baseline"):
+            setup_by_name("definitely-not-a-setup")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_setup("baseline", lambda scale: baseline_setup())
+
+    def test_replace_flag_allows_override(self):
+        original = _REGISTRY["baseline"]
+        try:
+            register_setup("baseline",
+                           lambda scale: baseline_setup(),
+                           replace=True)
+            assert setup_by_name("baseline") == baseline_setup()
+        finally:
+            _REGISTRY["baseline"] = original
+
+    def test_new_name_registers_and_resolves(self):
+        try:
+            register_setup("test-only",
+                           lambda scale: baseline_setup())
+            assert setup_by_name("test-only") == baseline_setup()
+            assert "test-only" in available_setups()
+        finally:
+            _REGISTRY.pop("test-only", None)

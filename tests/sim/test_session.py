@@ -1,0 +1,167 @@
+"""Tests for the simulation session: hashing, caching, fan-out."""
+
+import dataclasses
+
+import pytest
+
+from repro.params import SimScale, SystemConfig
+from repro.sim.runner import (
+    baseline_setup,
+    mirza_setup,
+    prac_setup,
+    run_baseline,
+)
+from repro.sim.session import (
+    SimJob,
+    SimSession,
+    describe,
+    job_token,
+    using_session,
+)
+
+SCALE = SimScale(2048)  # ~16 us windows: smoke-test speed
+
+
+class TestJobToken:
+    def test_equal_jobs_hash_identically(self):
+        a = SimJob("tc", mirza_setup(1000, SCALE), SCALE, seed=3)
+        b = SimJob("tc", mirza_setup(1000, SCALE), SCALE, seed=3)
+        assert a is not b
+        assert job_token(a) == job_token(b)
+        assert job_token(a.resolved()) == job_token(b.resolved())
+
+    def test_every_field_feeds_the_hash(self):
+        base = SimJob("tc", mirza_setup(1000, SCALE), SCALE, seed=0)
+        variants = [
+            SimJob("cc", mirza_setup(1000, SCALE), SCALE, seed=0),
+            SimJob("tc", mirza_setup(500, SCALE), SCALE, seed=0),
+            SimJob("tc", mirza_setup(1000, SCALE), SimScale(4096),
+                   seed=0),
+            SimJob("tc", mirza_setup(1000, SCALE), SCALE, seed=1),
+            SimJob("tc", mirza_setup(1000, SCALE), SCALE, seed=0,
+                   config=SystemConfig(num_cores=4)),
+        ]
+        tokens = [job_token(v.resolved()) for v in variants]
+        tokens.append(job_token(base.resolved()))
+        assert len(set(tokens)) == len(tokens)
+
+    def test_distinct_configs_never_collide(self):
+        # Regression: the old run_baseline key hashed id(type(config)),
+        # so *every* SystemConfig value shared one cache slot.
+        a = SimJob("tc", baseline_setup(), SCALE,
+                   config=SystemConfig())
+        b = SimJob("tc", baseline_setup(), SCALE,
+                   config=SystemConfig(num_cores=2))
+        assert job_token(a) != job_token(b)
+
+    def test_closure_setup_has_no_token(self):
+        setup = dataclasses.replace(
+            baseline_setup(),
+            tracker_factory=lambda seed, subch, bank: None)
+        job = SimJob("tc", setup, SCALE)
+        assert job_token(job) is None
+
+    def test_describe_rejects_arbitrary_objects(self):
+        with pytest.raises(TypeError):
+            describe(object())
+
+
+class TestMemoryCache:
+    def test_identical_jobs_computed_once(self):
+        session = SimSession(disk_cache=False)
+        job = SimJob("tc", baseline_setup(), SCALE)
+        a = session.run(job)
+        b = session.run(SimJob("tc", baseline_setup(), SCALE))
+        assert a is b
+        assert session.stats["misses"] == 1
+        assert session.stats["memory_hits"] == 1
+
+    def test_run_many_dedupes_within_batch(self):
+        session = SimSession(disk_cache=False)
+        job = SimJob("tc", baseline_setup(), SCALE)
+        results = session.run_many([job, job, job])
+        assert results[0] is results[1] is results[2]
+        assert session.stats["misses"] == 1
+
+    def test_closure_jobs_run_uncached(self):
+        from repro.sim.runner import simulate
+        session = SimSession(disk_cache=False)
+        setup = prac_setup(1000)
+        factory = setup.tracker_factory
+        opaque = dataclasses.replace(
+            setup,
+            tracker_factory=lambda seed, subch, bank: factory(
+                seed, subch, bank))
+        result = session.run(SimJob("tc", opaque, SCALE))
+        assert result == simulate("tc", setup, SCALE)
+        assert session.stats["memory_hits"] == 0
+
+
+class TestDiskCache:
+    def test_round_trip_between_sessions(self, tmp_path):
+        job = SimJob("tc", prac_setup(1000), SCALE)
+        first = SimSession(cache_dir=str(tmp_path))
+        computed = first.run(job)
+        second = SimSession(cache_dir=str(tmp_path))
+        restored = second.run(SimJob("tc", prac_setup(1000), SCALE))
+        assert second.stats["disk_hits"] == 1
+        assert second.stats["misses"] == 0
+        assert restored == computed
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        job = SimJob("tc", baseline_setup(), SCALE)
+        session = SimSession(cache_dir=str(tmp_path))
+        session.run(job)
+        path = session._entry_path(job_token(job.resolved()))
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        fresh = SimSession(cache_dir=str(tmp_path))
+        result = fresh.run(job)
+        assert fresh.stats["misses"] == 1
+        assert result == session.run(job)
+
+    def test_disk_cache_off_writes_nothing(self, tmp_path):
+        session = SimSession(cache_dir=str(tmp_path), disk_cache=False)
+        session.run(SimJob("tc", baseline_setup(), SCALE))
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self):
+        jobs = [SimJob(name, setup, SCALE)
+                for name in ("tc", "cc")
+                for setup in (baseline_setup(),
+                              mirza_setup(1000, SCALE))]
+        serial = SimSession(disk_cache=False).run_many(jobs)
+        parallel = SimSession(disk_cache=False).run_many(
+            jobs, max_workers=2)
+        assert serial == parallel
+
+    def test_slowdowns_pair_jobs_with_their_baselines(self):
+        session = SimSession(disk_cache=False)
+        jobs = [SimJob("tc", mirza_setup(1000, SCALE), SCALE)]
+        (slowdown, protected), = session.slowdowns(jobs)
+        baseline = session.run(SimJob("tc", baseline_setup(), SCALE))
+        assert slowdown == protected.slowdown_pct(baseline)
+        # The baseline was computed inside the slowdowns() batch.
+        assert session.stats["memory_hits"] >= 1
+
+
+class TestDefaultSessionWrappers:
+    def test_distinct_configs_get_distinct_baselines(self):
+        # Regression for the id(type(config)) cache-key bug: baselines
+        # for different SystemConfig values must not be conflated.
+        with using_session(SimSession(disk_cache=False)):
+            wide = run_baseline("tc", SCALE)
+            narrow = run_baseline("tc", SCALE,
+                                  config=SystemConfig(num_cores=2))
+        assert len(wide.ipc) == 8
+        assert len(narrow.ipc) == 2
+
+    def test_using_session_scopes_and_restores(self):
+        from repro.sim.session import get_default_session
+        outer = get_default_session()
+        scoped = SimSession(disk_cache=False)
+        with using_session(scoped):
+            assert get_default_session() is scoped
+        assert get_default_session() is outer

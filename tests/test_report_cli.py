@@ -75,3 +75,50 @@ class TestCli:
              if e[0] in ("Table I", "Table VII")])
         assert cli_main(["report", str(target)]) == 0
         assert "Table VII" in target.read_text()
+
+
+class TestCliFlags:
+    def test_run_subcommand_is_explicit_spelling(self, capsys):
+        assert cli_main(["run", "table10"]) == 0
+        assert "45" in capsys.readouterr().out
+
+    def test_run_unknown_exhibit(self, capsys):
+        assert cli_main(["run", "tableZZ"]) == 2
+        assert "unknown exhibit" in capsys.readouterr().err
+
+    def test_flags_beat_environment(self, monkeypatch):
+        from repro.__main__ import _build_parser, _environment
+        import os
+        monkeypatch.setenv("REPRO_TIME_SCALE", "64")
+        monkeypatch.setenv("REPRO_SEED", "9")
+        args = _build_parser().parse_args(
+            ["run", "table1", "--time-scale", "4096"])
+        with _environment(args):
+            assert os.environ["REPRO_TIME_SCALE"] == "4096"
+            assert os.environ["REPRO_SEED"] == "9"  # no flag: env wins
+        assert os.environ["REPRO_TIME_SCALE"] == "64"  # restored
+
+    def test_session_honours_cache_flags(self, tmp_path):
+        from repro.__main__ import _build_parser, _session_for
+        args = _build_parser().parse_args(
+            ["report", "--cache-dir", str(tmp_path), "--jobs", "3"])
+        session = _session_for(args)
+        assert session.cache_dir == str(tmp_path)
+        assert session.disk_cache
+        assert session.max_workers == 3
+        args = _build_parser().parse_args(["report", "--no-cache"])
+        assert not _session_for(args).disk_cache
+
+    def test_report_with_no_cache_and_jobs(self, tmp_path,
+                                           monkeypatch, capsys):
+        target = tmp_path / "report.md"
+        monkeypatch.setenv("REPRO_WORKLOADS", "tc")
+        import repro.report as report_module
+        monkeypatch.setattr(
+            report_module, "EXHIBITS",
+            [e for e in report_module.EXHIBITS
+             if e[0] == "Table VII"])
+        assert cli_main(["report", str(target), "--no-cache",
+                         "--jobs", "1", "--time-scale", "4096",
+                         "--cgf-scale", "512"]) == 0
+        assert "Table VII" in target.read_text()
