@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Simulation-kernel microbenchmarks: serial ``simulate()`` throughput.
+
+Times the pure compute kernel (no session, no cache, no worker pool)
+for the four representative setups -- unprotected baseline, PRAC+ABO,
+proactive MINT+RFM, and MIRZA -- and reports served requests per
+wall-clock second.  Results are written to ``BENCH_kernel.json`` so
+CI (and future optimization passes) can gate on throughput:
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke
+    PYTHONPATH=src python benchmarks/bench_kernel.py \
+        --check BENCH_kernel.json
+
+``--check FILE`` compares against a previous run and exits non-zero
+when any setup's requests/sec regressed by more than ``--tolerance``
+(default 25%).  Absolute numbers are machine-dependent; the gate is a
+ratio on the same machine, which is why CI checks its own fresh run of
+the committed reference only for *relative* regressions.
+
+The calibration sweep is warmed (and cached) before timing starts, so
+the numbers measure ``simulate()`` itself, best of ``--rounds`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from repro.params import SimScale
+from repro.sim.registry import setup_by_name
+from repro.sim.runner import calibrated_workload, simulate
+
+SETUPS = ("baseline", "prac-1000", "mint-rfm-1000", "mirza-1000")
+WORKLOADS = ("tc", "mcf")
+
+
+def bench_one(workload: str, setup_name: str, scale: SimScale,
+              seed: int, rounds: int) -> Dict[str, float]:
+    """Best-of-``rounds`` serial simulate() timing for one cell."""
+    setup = setup_by_name(setup_name)
+    # Warm the calibration cache: simulate() reuses it, so the timed
+    # region measures the kernel, not the calibration probes.
+    calibrated_workload(workload, scale, seed)
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = perf_counter()
+        result = simulate(workload, setup, scale, seed=seed)
+        best = min(best, perf_counter() - t0)
+    return {
+        "seconds": round(best, 4),
+        "requests": result.total_requests,
+        "activations": result.total_activations,
+        "requests_per_sec": round(result.total_requests / best, 1),
+        "activations_per_sec": round(result.total_activations / best, 1),
+    }
+
+
+def run_suite(scale: SimScale, seed: int, rounds: int,
+              workloads: List[str]) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        for setup_name in SETUPS:
+            key = f"{workload}/{setup_name}"
+            cell = bench_one(workload, setup_name, scale, seed, rounds)
+            results[key] = cell
+            print(f"{key:<24} {cell['seconds']:8.3f}s "
+                  f"{cell['requests_per_sec']:>12,.0f} req/s "
+                  f"{cell['activations_per_sec']:>12,.0f} act/s",
+                  file=sys.stderr)
+    return results
+
+
+def apply_reference(results: Dict[str, Dict[str, float]],
+                    reference_path: str,
+                    tolerance: float) -> List[str]:
+    """Annotate ``results`` with speedups vs a previous run; return the
+    list of cells that regressed beyond ``tolerance``."""
+    with open(reference_path) as handle:
+        reference = json.load(handle)
+    ref_results = reference.get("results", reference)
+    regressions: List[str] = []
+    for key, cell in results.items():
+        ref_cell = ref_results.get(key)
+        if not ref_cell:
+            continue
+        ref_rps = ref_cell.get("requests_per_sec")
+        if not ref_rps:
+            continue
+        speedup = cell["requests_per_sec"] / ref_rps
+        cell["reference_requests_per_sec"] = ref_rps
+        cell["speedup_vs_reference"] = round(speedup, 2)
+        if speedup < 1.0 - tolerance:
+            regressions.append(
+                f"{key}: {cell['requests_per_sec']:,.0f} req/s vs "
+                f"reference {ref_rps:,.0f} req/s "
+                f"({100 * (1 - speedup):.0f}% slower)")
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_kernel.json",
+                        help="result file (default: BENCH_kernel.json)")
+    parser.add_argument("--time-scale", type=int, default=512,
+                        metavar="S",
+                        help="window divisor (default: 512)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed rounds per cell, best kept "
+                             "(default: 3)")
+    parser.add_argument("--workloads", default=",".join(WORKLOADS),
+                        metavar="A,B,...")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny windows and one round -- seconds of "
+                             "wall clock, for CI smoke checks")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="compare requests/sec against a previous "
+                             "result file; non-zero exit on regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional req/s regression for "
+                             "--check (default: 0.25)")
+    args = parser.parse_args(argv)
+
+    time_scale = 4096 if args.smoke else args.time_scale
+    # Smoke cells run in milliseconds; best-of-2 damps runner noise
+    # enough for a 25% gate.
+    rounds = 2 if args.smoke else args.rounds
+    scale = SimScale(time_scale)
+    workloads = [w for w in args.workloads.split(",") if w]
+
+    results = run_suite(scale, args.seed, rounds, workloads)
+    payload = {
+        "meta": {
+            "time_scale": time_scale,
+            "seed": args.seed,
+            "rounds": rounds,
+            "smoke": args.smoke,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+    regressions: List[str] = []
+    if args.check:
+        regressions = apply_reference(results, args.check,
+                                      args.tolerance)
+
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    if regressions:
+        print("THROUGHPUT REGRESSION:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,8 @@ for ``python -m repro run table7``).
 
 Every subcommand accepts the shared simulation flags (``--jobs``,
 ``--time-scale``, ``--cgf-scale``, ``--workloads``, ``--seed``,
-``--cache-dir``, ``--no-cache``).  The ``REPRO_*`` environment
+``--cache-dir``, ``--no-cache``, ``--profile``).  The ``REPRO_*``
+environment
 variables remain as fallbacks; an explicit flag always wins over the
 environment.
 """
@@ -76,6 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--no-cache", action="store_true",
             help="disable the on-disk result cache for this run")
+        p.add_argument(
+            "--profile", action="store_true",
+            help="profile the simulation kernel and print a per-phase "
+                 "breakdown when the command finishes (in-process runs "
+                 "only -- combine with --jobs 1; REPRO_PROFILE=1 works "
+                 "too)")
 
     p_list = sub.add_parser("list", help="print the exhibit names")
     add_shared(p_list)
@@ -149,15 +156,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name in exhibit_names():
                 print(name)
             return 0
-        if args.command == "report":
-            write_report(args.path, session=session)
-            return 0
-        for name in args.exhibits:
-            try:
-                print(run_exhibit(name, session=session))
-            except KeyError as error:
-                print(error, file=sys.stderr)
-                return 2
+        from repro.sim.profile import maybe_profile_from_env
+        with maybe_profile_from_env(
+                force=getattr(args, "profile", False)) as prof:
+            if args.command == "report":
+                write_report(args.path, session=session)
+            else:
+                for name in args.exhibits:
+                    try:
+                        print(run_exhibit(name, session=session))
+                    except KeyError as error:
+                        print(error, file=sys.stderr)
+                        return 2
+        if prof is not None:
+            print(prof.report(), file=sys.stderr)
     return 0
 
 

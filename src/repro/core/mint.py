@@ -22,6 +22,9 @@ from typing import Optional
 class MintSampler:
     """Selects one of every ``window`` observed activations at random."""
 
+    __slots__ = ("window", "rng", "_position", "_target",
+                 "windows_completed", "observed", "selected")
+
     def __init__(self, window: int, rng: Optional[random.Random] = None
                  ) -> None:
         if window < 1:

@@ -37,6 +37,9 @@ class MirzaTracker(BankTracker):
 
     name = "mirza"
 
+    __slots__ = ("config", "geometry", "mapping", "rct", "mint", "queue",
+                 "acts_observed")
+
     def __init__(self, config: MirzaConfig,
                  geometry: DramGeometry = DramGeometry(),
                  mapping: Optional[RowToSubarrayMapping] = None,

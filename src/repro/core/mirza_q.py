@@ -24,6 +24,9 @@ from typing import Dict, Optional
 class MirzaQueue:
     """Bounded set of (row -> tardiness count) pending mitigations."""
 
+    __slots__ = ("capacity", "qth", "_entries", "insertions",
+                 "dropped_insertions", "evictions")
+
     def __init__(self, capacity: int = 4, qth: int = 16) -> None:
         if capacity < 1:
             raise ValueError("queue capacity must be at least 1")
@@ -76,9 +79,14 @@ class MirzaQueue:
 
     def wants_alert(self) -> bool:
         """True when the queue must request mitigation time."""
-        if self.full:
+        entries = self._entries
+        if len(entries) >= self.capacity:
             return True
-        return any(count > self.qth for count in self._entries.values())
+        qth = self.qth
+        for count in entries.values():
+            if count > qth:
+                return True
+        return False
 
     def pop_max(self) -> Optional[int]:
         """Remove and return the entry with the highest tardiness."""

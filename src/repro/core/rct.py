@@ -46,6 +46,10 @@ class ResetPolicy(enum.Enum):
 class RegionCountTable:
     """Per-region saturating activation counters with FTH filtering."""
 
+    __slots__ = ("num_regions", "fth", "geometry", "reset_policy",
+                 "region_size", "_counters", "_rrc", "_refreshing_region",
+                 "filtered_acts", "escaped_acts", "_edge_possible")
+
     def __init__(self, num_regions: int, fth: int,
                  geometry: DramGeometry = DramGeometry(),
                  reset_policy: ResetPolicy = ResetPolicy.SAFE) -> None:
@@ -62,6 +66,7 @@ class RegionCountTable:
         self.region_size = geometry.rows_per_bank // num_regions
         self._counters: List[int] = [0] * num_regions
         self._rrc: int = 0
+        self._edge_possible = self.region_size < geometry.rows_per_subarray
         self._refreshing_region: Optional[int] = None
         self.filtered_acts = 0
         self.escaped_acts = 0
@@ -117,12 +122,13 @@ class RegionCountTable:
         An escaping activation participates in MINT selection; a filtered
         one needs no mitigation at all.
         """
-        region = self.region_of(physical_row)
+        region = physical_row // self.region_size
         escaped = self.count(region) > self.fth
         self._bump(region)
-        neighbor = self._edge_neighbor_region(physical_row)
-        if neighbor is not None and 0 <= neighbor < self.num_regions:
-            self._bump(neighbor)
+        if self._edge_possible:
+            neighbor = self._edge_neighbor_region(physical_row)
+            if neighbor is not None and 0 <= neighbor < self.num_regions:
+                self._bump(neighbor)
         if escaped:
             self.escaped_acts += 1
         else:

@@ -11,18 +11,30 @@ throughput: it reproduces the sensitivity of IPC to (a) added DRAM
 latency (PRAC's inflated tRP/tRC on row conflicts) and (b) stolen DRAM
 time (REF/RFM/ALERT stalls), which are the only two effects behind the
 paper's slowdown numbers.
+
+Traces arrive either entry-at-a-time (any ``Iterator[TraceEntry]``) or
+pre-chunked (:class:`repro.cpu.trace.ChunkSource`); the core buffers a
+chunk of plain tuples internally either way, so the hot path indexes a
+list instead of resuming a generator per miss.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, Optional, Tuple
+from time import perf_counter
+from typing import Deque, Iterator, List, Optional, Tuple
 
-from repro.cpu.trace import TraceEntry
+from repro import _profile
+from repro.cpu.trace import ChunkSource, EntryTuple, TraceEntry, \
+    chunk_entries
 
 
 class Core:
     """One trace-driven core."""
+
+    __slots__ = ("core_id", "trace", "mlp", "clock",
+                 "retired_instructions", "misses_issued", "_outstanding",
+                 "_chunks", "_buf", "_idx")
 
     def __init__(self, core_id: int, trace: Iterator[TraceEntry],
                  mlp: int = 8) -> None:
@@ -35,32 +47,66 @@ class Core:
         self.retired_instructions = 0
         self.misses_issued = 0
         self._outstanding: Deque[int] = deque()
-        self._next: Optional[TraceEntry] = None
+        if hasattr(trace, "next_chunk"):
+            self._chunks = trace
+        else:
+            self._chunks = chunk_entries(trace)
+        self._buf: List[EntryTuple] = []
+        self._idx = 0
+
+    def _refill(self) -> bool:
+        """Pull the next chunk into the buffer; False when exhausted."""
+        prof = _profile._ACTIVE
+        if prof is None:
+            chunk = self._chunks.next_chunk()
+        else:
+            t0 = perf_counter()
+            chunk = self._chunks.next_chunk()
+            prof.trace_s += perf_counter() - t0
+        if not chunk:
+            return False
+        self._buf = chunk
+        self._idx = 0
+        return True
 
     def peek_issue_time(self) -> Optional[int]:
         """Earliest time the next miss can issue (None when trace ends)."""
-        if self._next is None:
-            self._next = next(self.trace, None)
-            if self._next is None:
+        idx = self._idx
+        buf = self._buf
+        if idx >= len(buf):
+            if not self._refill():
                 return None
-        ready = self.clock + self._next.compute_ps
-        if len(self._outstanding) >= self.mlp:
-            ready = max(ready, self._outstanding[0])
+            buf = self._buf
+            idx = 0
+        ready = self.clock + buf[idx][0]
+        outstanding = self._outstanding
+        if len(outstanding) >= self.mlp and outstanding[0] > ready:
+            ready = outstanding[0]
         return ready
 
-    def pop_request(self) -> Tuple[int, TraceEntry]:
-        """Commit to issuing the next miss; returns (issue_time, entry)."""
+    def pop_tuple(self) -> Tuple[int, EntryTuple]:
+        """Commit to the next miss; returns ``(issue_time, entry_tuple)``.
+
+        The hot-path twin of :meth:`pop_request`: the entry comes back
+        as a plain :data:`repro.cpu.trace.EntryTuple`.
+        """
         issue = self.peek_issue_time()
         if issue is None:
             raise StopIteration("trace exhausted")
-        entry = self._next
-        self._next = None
-        if len(self._outstanding) >= self.mlp:
-            self._outstanding.popleft()
+        tup = self._buf[self._idx]
+        self._idx += 1
+        outstanding = self._outstanding
+        if len(outstanding) >= self.mlp:
+            outstanding.popleft()
         self.clock = issue
-        self.retired_instructions += entry.instructions
+        self.retired_instructions += tup[1]
         self.misses_issued += 1
-        return issue, entry
+        return issue, tup
+
+    def pop_request(self) -> Tuple[int, TraceEntry]:
+        """Commit to issuing the next miss; returns (issue_time, entry)."""
+        issue, tup = self.pop_tuple()
+        return issue, TraceEntry(*tup)
 
     def complete(self, completion_time: int) -> None:
         """Record the DRAM completion of the just-issued miss."""

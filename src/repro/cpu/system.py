@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterator, List, Optional, Sequence
 
+from repro import _profile
 from repro.cpu.core import Core
 from repro.cpu.trace import TraceEntry
 from repro.dram.device import DramDevice
@@ -125,25 +127,53 @@ class MultiCoreSystem:
 
     def run(self, window_ps: int) -> SimResult:
         """Simulate ``window_ps`` picoseconds; return the measurements."""
+        prof = _profile._ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        cores = self.cores
+        mcs = self.mcs
+        num_mcs = len(mcs)
+        serve_s = 0.0
         heap = []
-        for core in self.cores:
+        for core in cores:
             t = core.peek_issue_time()
             if t is not None:
-                heapq.heappush(heap, (t, core.core_id))
+                heappush(heap, (t, core.core_id))
         while heap:
-            issue, core_id = heapq.heappop(heap)
+            issue, core_id = heappop(heap)
+            core = cores[core_id]
             if issue >= window_ps:
+                # A queued core's state never changes while it waits, so
+                # the key is exact and every later request of this core
+                # is also past the window; re-derive defensively and
+                # re-queue rather than dropping in-window work if that
+                # invariant is ever broken.
+                current = core.peek_issue_time()
+                if current is not None and current < window_ps:
+                    heappush(heap, (current, core_id))
                 continue
-            core = self.cores[core_id]
-            issue_time, entry = core.pop_request()
-            mc = self.mcs[entry.subchannel % len(self.mcs)]
-            result = mc.serve(entry.bank, entry.row, issue_time)
-            core.complete(result.completion_time)
+            # tup fields: (compute_ps, instructions, subchannel, bank,
+            # row) -- see repro.cpu.trace.EntryTuple.
+            issue_time, tup = core.pop_tuple()
+            mc = mcs[tup[2] % num_mcs]
+            if prof is None:
+                data_done = mc.serve_timing(tup[3], tup[4], issue_time)[1]
+            else:
+                s0 = perf_counter()
+                data_done = mc.serve_timing(tup[3], tup[4], issue_time)[1]
+                serve_s += perf_counter() - s0
+            core.complete(data_done)
             nxt = core.peek_issue_time()
             if nxt is not None:
-                heapq.heappush(heap, (nxt, core_id))
-        for mc in self.mcs:
+                heappush(heap, (nxt, core_id))
+        for mc in mcs:
             mc.finish(window_ps)
+        if prof is not None:
+            prof.serve_s += serve_s
+            prof.add_run(perf_counter() - t0, window_ps,
+                         sum(mc.total_requests for mc in mcs),
+                         sum(mc.total_activations for mc in mcs))
         return self._collect(window_ps)
 
     def _collect(self, window_ps: int) -> SimResult:

@@ -24,6 +24,8 @@ from repro.params import DramGeometry
 class RowActivationOracle:
     """Ground truth: unmitigated activation counts per (logical) row."""
 
+    __slots__ = ("geometry", "mapping", "_counts", "_max_seen", "_max_row")
+
     def __init__(self, geometry: DramGeometry = DramGeometry(),
                  mapping: Optional[RowToSubarrayMapping] = None) -> None:
         self.geometry = geometry
@@ -47,9 +49,21 @@ class RowActivationOracle:
         self._counts.pop(row, None)
 
     def on_rows_refreshed(self, rows: Iterable[int]) -> None:
-        """Demand refresh of several rows at once."""
+        """Demand refresh of several rows at once.
+
+        A REF slice covers thousands of rows while the oracle tracks
+        counts only for the handful of rows activated since their last
+        refresh, so when ``rows`` supports O(1) membership tests the
+        intersection is walked from the (small) counts side instead of
+        popping every swept row individually.
+        """
+        counts = self._counts
+        if isinstance(rows, (set, frozenset)) and len(counts) < len(rows):
+            for row in [r for r in counts if r in rows]:
+                del counts[row]
+            return
         for row in rows:
-            self.on_row_refreshed(row)
+            counts.pop(row, None)
 
     def on_mitigation(self, aggressor_row: int, blast_radius: int = 2
                       ) -> None:
@@ -88,6 +102,10 @@ class RowActivationOracle:
 class Bank:
     """Per-bank DRAM state: open row, activation bookkeeping, oracle."""
 
+    __slots__ = ("bank_id", "geometry", "mapping", "open_row", "oracle",
+                 "total_activations", "total_mitigations",
+                 "victim_rows_refreshed", "_rows_per_bank")
+
     def __init__(self, bank_id: int,
                  geometry: DramGeometry = DramGeometry(),
                  mapping: Optional[RowToSubarrayMapping] = None) -> None:
@@ -100,10 +118,11 @@ class Bank:
         self.total_activations = 0
         self.total_mitigations = 0
         self.victim_rows_refreshed = 0
+        self._rows_per_bank = geometry.rows_per_bank
 
     def activate(self, row: int) -> None:
         """Open ``row`` (the caller has already enforced timing)."""
-        if not 0 <= row < self.geometry.rows_per_bank:
+        if not 0 <= row < self._rows_per_bank:
             raise ValueError(
                 f"row {row} out of range for bank with "
                 f"{self.geometry.rows_per_bank} rows")

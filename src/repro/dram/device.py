@@ -19,8 +19,10 @@ serves many banks).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional
 
+from repro import _profile
 from repro.dram.bank import Bank
 from repro.dram.mapping import RowToSubarrayMapping, SequentialR2SA
 from repro.dram.refresh import RefreshScheduler, RefreshSlice
@@ -101,6 +103,12 @@ class DramDevice:
             tracker_factory = lambda bank_id: NoMitigation()  # noqa: E731
         self.trackers: List[BankTracker] = [
             tracker_factory(i) for i in range(self.num_banks)]
+        # Trackers that inherit the base wants_alert can never request an
+        # ALERT; precomputing the overriders lets alert_pending -- polled
+        # once per activation -- skip purely proactive configurations.
+        self._alertable: List[BankTracker] = [
+            t for t in self.trackers
+            if type(t).wants_alert is not BankTracker.wants_alert]
         self.refresh = RefreshScheduler(geometry, self.mapping,
                                         refs_per_window)
         self.stats = DeviceStats()
@@ -111,7 +119,13 @@ class DramDevice:
     def activate(self, bank_id: int, row: int, now_ps: int) -> None:
         """Activate ``row`` in ``bank_id``; trackers observe the ACT."""
         self.banks[bank_id].activate(row)
-        self.trackers[bank_id].on_activate(row, now_ps)
+        prof = _profile._ACTIVE
+        if prof is None:
+            self.trackers[bank_id].on_activate(row, now_ps)
+        else:
+            t0 = perf_counter()
+            self.trackers[bank_id].on_activate(row, now_ps)
+            prof.trackers_s += perf_counter() - t0
         self.stats.activations += 1
 
     def note_row_press(self, bank_id: int, row: int,
@@ -134,7 +148,10 @@ class DramDevice:
 
     def alert_pending(self) -> bool:
         """True if any bank's tracker needs an ALERT right now."""
-        return any(t.wants_alert() for t in self.trackers)
+        for tracker in self._alertable:
+            if tracker.wants_alert():
+                return True
+        return False
 
     def service_alert(self, now_ps: int, rfm_slots: int = None) -> int:
         """Run the mitigation phase of one ALERT; return rows mitigated.
@@ -163,8 +180,12 @@ class DramDevice:
         """Issue one REF to all banks (same RefPtr slice on each)."""
         slice_ = self.refresh.advance()
         self.stats.refs_issued += 1
+        # One membership-testable set shared by every bank's oracle: a
+        # slice covers thousands of rows, and per-row pops across all
+        # banks dominated the whole simulation before this.
+        swept = frozenset(slice_.logical_rows)
         for bank, tracker in zip(self.banks, self.trackers):
-            bank.refresh_rows(slice_.logical_rows)
+            bank.refresh_rows(swept)
             tracker.on_ref_slice(slice_, now_ps)
             rows = tracker.on_mitigation_slot(
                 now_ps, MitigationSlotSource.REF)

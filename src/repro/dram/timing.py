@@ -21,8 +21,14 @@ from repro.params import DramTimings
 class BankTiming:
     """Earliest-issue-time bookkeeping for one bank."""
 
+    __slots__ = ("timings", "_tRC", "_tRAS", "_tRP", "_last_act",
+                 "_precharge_done", "_blocked_until", "_row_open")
+
     def __init__(self, timings: DramTimings) -> None:
         self.timings = timings
+        self._tRC = timings.tRC
+        self._tRAS = timings.tRAS
+        self._tRP = timings.tRP
         self._last_act: int = -(10 ** 18)
         self._precharge_done: int = 0
         self._blocked_until: int = 0
@@ -34,12 +40,12 @@ class BankTiming:
 
     def earliest_activate(self, now: int) -> int:
         """Earliest time an ACT may issue (assumes row already closed)."""
-        return max(now, self._last_act + self.timings.tRC,
+        return max(now, self._last_act + self._tRC,
                    self._precharge_done, self._blocked_until)
 
     def earliest_precharge(self, now: int) -> int:
         """Earliest time a PRE may issue (tRAS after the ACT)."""
-        return max(now, self._last_act + self.timings.tRAS,
+        return max(now, self._last_act + self._tRAS,
                    self._blocked_until)
 
     def activate(self, at: int) -> None:
@@ -50,7 +56,7 @@ class BankTiming:
     def precharge(self, at: int) -> int:
         """Record a PRE at time ``at``; return its completion time."""
         self._row_open = False
-        self._precharge_done = at + self.timings.tRP
+        self._precharge_done = at + self._tRP
         return self._precharge_done
 
     def block_until(self, until: int) -> None:
@@ -79,8 +85,11 @@ class FawTracker:
     fewer than four ACTs.
     """
 
+    __slots__ = ("timings", "_tFAW", "_times")
+
     def __init__(self, timings: DramTimings) -> None:
         self.timings = timings
+        self._tFAW = timings.tFAW
         self._times: List[int] = []
 
     def release_before(self, t: int) -> None:
@@ -89,10 +98,11 @@ class FawTracker:
         Safe with any lower bound on future query times (the controller
         passes the monotone request-arrival clock).
         """
-        cutoff = t - self.timings.tFAW
-        idx = bisect.bisect_left(self._times, cutoff)
-        if idx:
-            del self._times[:idx]
+        times = self._times
+        if times and times[0] < t - self._tFAW:
+            idx = bisect.bisect_left(times, t - self._tFAW)
+            if idx:
+                del times[:idx]
 
     def earliest_activate(self, now: int) -> int:
         """Earliest time >= ``now`` the subchannel can accept an ACT.
@@ -103,8 +113,10 @@ class FawTracker:
         five-element window of the sorted neighbourhood around the
         insertion point and slides ``t`` past the first violation.
         """
-        faw = self.timings.tFAW
+        faw = self._tFAW
         times = self._times
+        if not times:
+            return now
         t = now
         while True:
             i = bisect.bisect_right(times, t)
@@ -139,8 +151,11 @@ class BusTracker:
     at or after the desired time, with old gaps pruned as time advances.
     """
 
+    __slots__ = ("timings", "_tBURST", "_slots", "busy_time")
+
     def __init__(self, timings: DramTimings) -> None:
         self.timings = timings
+        self._tBURST = timings.tBURST
         self._slots: Deque[tuple] = deque()
         self.busy_time = 0
 
@@ -157,7 +172,7 @@ class BusTracker:
 
     def earliest_transfer(self, now: int) -> int:
         """Earliest start >= ``now`` with a free tBURST-sized gap."""
-        burst = self.timings.tBURST
+        burst = self._tBURST
         t = now
         for start, end in self._slots:
             if t + burst <= start:
@@ -168,12 +183,13 @@ class BusTracker:
 
     def transfer(self, at: int) -> int:
         """Book the first free slot at/after ``at``; return its end."""
-        burst = self.timings.tBURST
+        burst = self._tBURST
         start = self.earliest_transfer(at)
         end = start + burst
-        self._slots.append((start, end))
-        if len(self._slots) > 1 and self._slots[-2][0] > start:
-            self._slots = deque(sorted(self._slots))
+        slots = self._slots
+        slots.append((start, end))
+        if len(slots) > 1 and slots[-2][0] > start:
+            self._slots = deque(sorted(slots))
         self.busy_time += burst
         return end
 
@@ -186,6 +202,8 @@ class BusTracker:
 
 class ChannelStall:
     """Channel-wide blackout windows (ALERT stalls affect every bank)."""
+
+    __slots__ = ("_blocked_until", "total_stall")
 
     def __init__(self) -> None:
         self._blocked_until = 0

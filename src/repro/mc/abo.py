@@ -27,6 +27,8 @@ class StallWindows:
     appended in (mostly) increasing order; overlaps are merged lazily.
     """
 
+    __slots__ = ("_windows", "total_stall")
+
     def __init__(self) -> None:
         self._windows: List[Tuple[int, int]] = []
         self.total_stall = 0
@@ -47,8 +49,14 @@ class StallWindows:
 
     def adjust(self, t: int) -> int:
         """Earliest instant >= ``t`` outside every stall window."""
+        windows = self._windows
+        # Fast path: no stall has ever been recorded (the common case --
+        # baseline and proactive setups never ALERT), or the newest
+        # window already ended before ``t``.
+        if not windows or t >= windows[-1][1]:
+            return t
         # Walk from the end: recent windows are the relevant ones.
-        for start, end in reversed(self._windows):
+        for start, end in reversed(windows):
             if t >= end:
                 return t
             if t >= start:
@@ -67,6 +75,9 @@ class StallWindows:
 
 class AboEngine:
     """Controller-side ABO protocol handling for one subchannel."""
+
+    __slots__ = ("abo", "stalls", "alerts_asserted", "_acts_since_alert",
+                 "_last_stall_end")
 
     def __init__(self, abo: AboTimings = AboTimings()) -> None:
         self.abo = abo

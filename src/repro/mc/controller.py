@@ -24,7 +24,8 @@ through :class:`repro.dram.device.DramDevice`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from time import perf_counter
+from typing import List, Optional, Tuple
 
 from repro.dram.device import DramDevice
 from repro.dram.timing import BankTiming, BusTracker, FawTracker
@@ -34,9 +35,10 @@ from repro.mc.drfm import DrfmEngine
 from repro.mc.rfm import RfmEngine
 from repro.mc.validator import CommandLog
 from repro.params import SystemConfig
+from repro import _profile
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestResult:
     """Outcome of one memory request."""
 
@@ -55,6 +57,13 @@ class RequestResult:
 
 class MemoryController:
     """FCFS-per-bank controller with open-page state and ABO/RFM."""
+
+    __slots__ = ("config", "log", "rowpress_to_acts", "drfm", "timings",
+                 "device", "banks", "faw", "bus", "abo", "rfm",
+                 "_open_row", "_row_close_at", "_next_ref",
+                 "total_requests", "total_activations", "row_hits",
+                 "_tRCD", "_tRAS", "_tRP", "_tCAS", "_tREFI", "_tRFC",
+                 "_stalls", "_rfm_enabled", "_alert_possible")
 
     def __init__(self, config: SystemConfig, device: DramDevice,
                  rfm_bat: Optional[int] = None,
@@ -80,57 +89,101 @@ class MemoryController:
         self.total_requests = 0
         self.total_activations = 0
         self.row_hits = 0
+        # Hot-path caches: the timing fields and stall adjuster are read
+        # on every request; resolving them once here keeps `serve_timing`
+        # free of attribute-chain lookups.
+        self._tRCD = self.timings.tRCD
+        self._tRAS = self.timings.tRAS
+        self._tRP = self.timings.tRP
+        self._tCAS = self.timings.tCAS
+        self._tREFI = self.timings.tREFI
+        self._tRFC = self.timings.tRFC
+        self._stalls = self.abo.stalls
+        self._rfm_enabled = rfm_bat is not None
+        self._alert_possible = bool(device._alertable)
 
     # ------------------------------------------------------------------
     # Refresh pacing
     # ------------------------------------------------------------------
     def process_refreshes(self, until: int) -> None:
         """Issue every REF whose nominal slot is at or before ``until``."""
+        if until < self._next_ref:
+            return
+        prof = _profile._ACTIVE
+        t0 = perf_counter() if prof is not None else 0.0
+        refs = 0
+        adjust = self._stalls.adjust
+        tRFC = self._tRFC
+        tREFI = self._tREFI
+        open_row = self._open_row
         while self._next_ref <= until:
-            start = self.abo.stalls.adjust(self._next_ref)
-            end = start + self.timings.tRFC
+            start = adjust(self._next_ref)
+            end = start + tRFC
             for bank_id, bank in enumerate(self.banks):
                 bank.block_until(end)
-                self._open_row[bank_id] = None
+                open_row[bank_id] = None
             if self.log is not None:
                 self.log.record_ref(start, end)
             self.device.do_ref(start)
-            self._next_ref += self.timings.tREFI
-        self.abo.stalls.drop_before(until - 10 * self.timings.tREFI)
+            self._next_ref += tREFI
+            refs += 1
+        self._stalls.drop_before(until - 10 * tREFI)
+        if prof is not None:
+            prof.refresh_s += perf_counter() - t0
+            prof.refs += refs
 
     # ------------------------------------------------------------------
     # Request service
     # ------------------------------------------------------------------
-    def serve(self, bank_id: int, row: int, arrival: int) -> RequestResult:
-        """Schedule one read-sized request; returns its timing."""
-        self.process_refreshes(arrival)
-        self.bus.release_before(arrival)
+    def serve_timing(self, bank_id: int, row: int, arrival: int
+                     ) -> Tuple[int, int, bool]:
+        """Hot path of :meth:`serve`: ``(issue, data_done, activated)``.
+
+        Identical scheduling to :meth:`serve` without constructing a
+        :class:`RequestResult`; the run loop calls this once per request.
+        """
+        if self._next_ref <= arrival:
+            self.process_refreshes(arrival)
+        bus = self.bus
+        bus.release_before(arrival)
         self.faw.release_before(arrival)
         self.total_requests += 1
         bank = self.banks[bank_id]
-        open_row = self._effective_open_row(bank_id, arrival)
+        # Inlined _effective_open_row (soft close-page policy).
+        open_row = self._open_row[bank_id]
+        if open_row is not None and arrival > self._row_close_at[bank_id]:
+            open_row = None
 
+        adjust = self._stalls.adjust
         if open_row == row:
-            issue = self.abo.stalls.adjust(
-                max(arrival, bank.blocked_until))
+            blocked = bank._blocked_until
+            issue = adjust(blocked if blocked > arrival else arrival)
             self.row_hits += 1
+            lower = issue
             activated = False
         else:
             issue = self._activate(bank_id, row, arrival,
                                    conflict=open_row is not None)
+            lower = issue + self._tRCD
             activated = True
 
-        cas = self.abo.stalls.adjust(
-            max(issue + (self.timings.tRCD if activated else 0),
-                self.bus.earliest_transfer(arrival)))
-        data_done = self.bus.transfer(cas) + self.timings.tCAS
+        transfer = bus.earliest_transfer(arrival)
+        cas = adjust(transfer if transfer > lower else lower)
+        data_done = bus.transfer(cas) + self._tCAS
         if self.log is not None:
-            burst_end = data_done - self.timings.tCAS
+            burst_end = data_done - self._tCAS
             self.log.record_burst(burst_end - self.timings.tBURST,
                                   burst_end)
         # A served request keeps its row open for another tRAS.
-        self._row_close_at[bank_id] = max(
-            self._row_close_at[bank_id], cas + self.timings.tRAS)
+        close_at = cas + self._tRAS
+        if close_at > self._row_close_at[bank_id]:
+            self._row_close_at[bank_id] = close_at
+        return issue, data_done, activated
+
+    def serve(self, bank_id: int, row: int, arrival: int) -> RequestResult:
+        """Schedule one read-sized request; returns its timing."""
+        issue, data_done, activated = self.serve_timing(
+            bank_id, row, arrival)
         return RequestResult(issue_time=issue, completion_time=data_done,
                              activated=activated,
                              row_hit=(not activated))
@@ -152,9 +205,10 @@ class MemoryController:
                   conflict: bool) -> int:
         """Issue (PRE +) ACT for ``row``; return the ACT issue time."""
         bank = self.banks[bank_id]
+        adjust = self._stalls.adjust
         ready = arrival
         if conflict:
-            pre = self.abo.stalls.adjust(bank.earliest_precharge(arrival))
+            pre = adjust(bank.earliest_precharge(arrival))
             self._note_row_press(bank_id, pre)
             ready = bank.precharge(pre)
             if self.log is not None:
@@ -163,7 +217,7 @@ class MemoryController:
             # Row auto-closed at row_close_at; precharge trails it.
             auto_pre = self._row_close_at[bank_id]
             self._note_row_press(bank_id, auto_pre)
-            ready = max(arrival, auto_pre + self.timings.tRP)
+            ready = max(arrival, auto_pre + self._tRP)
             bank.precharge(auto_pre)
             if self.log is not None:
                 self.log.record_precharge(auto_pre, bank_id)
@@ -172,12 +226,14 @@ class MemoryController:
         # tFAW window or a not-yet-processed REF slot, so every
         # constraint -- including future refreshes up to the candidate
         # time -- is re-evaluated until none moves it.
+        bank_earliest = bank.earliest_activate
+        faw_earliest = self.faw.earliest_activate
         act = ready
         while True:
             self.process_refreshes(act)
-            candidate = self.abo.stalls.adjust(
-                max(bank.earliest_activate(act),
-                    self.faw.earliest_activate(act)))
+            b = bank_earliest(act)
+            f = faw_earliest(act)
+            candidate = adjust(b if b > f else f)
             if candidate == act:
                 break
             act = candidate
@@ -186,15 +242,16 @@ class MemoryController:
         if self.log is not None:
             self.log.record_act(act, bank_id)
         self._open_row[bank_id] = row
-        self._row_close_at[bank_id] = act + self.timings.tRAS
+        self._row_close_at[bank_id] = act + self._tRAS
         self.total_activations += 1
         self.device.activate(bank_id, row, act)
         self.abo.on_activate()
-        if self.rfm.on_activate(bank_id):
+        if self._rfm_enabled and self.rfm.on_activate(bank_id):
             self._issue_rfm(bank_id, act)
         if self.drfm is not None and self.drfm.on_activate(bank_id, row):
             self._issue_drfm(act)
-        self._check_alert(act)
+        if self._alert_possible:
+            self._check_alert(act)
         return act
 
     def _note_row_press(self, bank_id: int, pre_time: int) -> None:
@@ -244,7 +301,14 @@ class MemoryController:
 
     def _check_alert(self, now: int) -> None:
         """Run the ABO sequence if any tracker is requesting ALERT."""
-        asserted = self.abo.maybe_assert(self.device.alert_pending(), now)
+        prof = _profile._ACTIVE
+        if prof is None:
+            pending = self.device.alert_pending()
+        else:
+            t0 = perf_counter()
+            pending = self.device.alert_pending()
+            prof.trackers_s += perf_counter() - t0
+        asserted = self.abo.maybe_assert(pending, now)
         if asserted is None:
             return
         stall_start, stall_end = asserted

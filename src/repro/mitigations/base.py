@@ -40,6 +40,8 @@ class MitigationSlotSource(enum.Enum):
 class BankTracker(abc.ABC):
     """Abstract per-bank Rowhammer tracker."""
 
+    __slots__ = ()
+
     name: str = "abstract"
 
     @abc.abstractmethod

@@ -28,6 +28,8 @@ from repro.params import DramGeometry
 class NaiveMirzaTracker(MirzaTracker):
     """MINT + ABO with a MIRZA-Q but no filtering (FTH = 0)."""
 
+    __slots__ = ()
+
     name = "naive-mirza"
 
     def __init__(self, mint_window: int, queue_entries: int = 4,

@@ -1,0 +1,34 @@
+"""Public home of the kernel profiling layer.
+
+The implementation lives in :mod:`repro._profile` so the hot modules
+(``repro.mc.controller``, ``repro.dram.device``, ``repro.cpu.core``)
+can import it without pulling in :mod:`repro.sim`'s package
+``__init__`` -- which imports the runner, which imports those same hot
+modules.  Import from here in user code::
+
+    from repro.sim.profile import profiling
+"""
+
+from __future__ import annotations
+
+from repro._profile import (
+    PHASES,
+    KernelProfile,
+    active,
+    enabled_by_env,
+    install,
+    maybe_profile_from_env,
+    perf_counter,
+    profiling,
+)
+
+__all__ = [
+    "KernelProfile",
+    "PHASES",
+    "active",
+    "enabled_by_env",
+    "install",
+    "maybe_profile_from_env",
+    "perf_counter",
+    "profiling",
+]

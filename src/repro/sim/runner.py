@@ -249,11 +249,11 @@ def calibrated_workload(workload: Union[str, WorkloadSpec],
     ~2x.  This helper closes the loop: it runs short unprotected probe
     windows and adjusts the per-miss compute budget until the measured
     activations per bank per window are within 8% of the workload's
-    published mean (cached per (workload, scale, seed)).  The whole
-    procedure is deterministic, so worker processes converge on exactly
-    the calibration the parent would have computed."""
+    published mean (cached per (workload, scale, seed, config)).  The
+    whole procedure is deterministic, so worker processes converge on
+    exactly the calibration the parent would have computed."""
     spec = _resolve(workload)
-    key = (spec.name, scale.time_scale, seed)
+    key = (spec.name, scale.time_scale, seed, config)
     if key in _WORKLOAD_CACHE:
         return _WORKLOAD_CACHE[key]
     synthetic = SyntheticWorkload(spec, config, scale, seed=seed)

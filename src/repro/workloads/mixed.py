@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence, Union
 
-from repro.cpu.trace import TraceEntry
+from repro.cpu.trace import ChunkSource, TraceEntry
 from repro.params import SimScale, SystemConfig
 from repro.workloads.specs import WorkloadSpec, workload_by_name
 from repro.workloads.synthetic import SyntheticWorkload
@@ -74,9 +74,13 @@ class MixedWorkload:
         """Infinite miss trace for ``core_id``'s assigned member."""
         return self._generators[core_id].trace(core_id)
 
+    def chunk_source(self, core_id: int) -> ChunkSource:
+        """Chunked trace of ``core_id``'s member (hot-path form)."""
+        return self._generators[core_id].chunk_source(core_id)
+
     def trace_factory(self):
         """``core_id -> trace`` callable for MultiCoreSystem."""
-        return self.trace
+        return self.chunk_source
 
     @property
     def mlp(self) -> int:

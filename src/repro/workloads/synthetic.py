@@ -28,7 +28,7 @@ from __future__ import annotations
 import random
 from typing import Iterator, List
 
-from repro.cpu.trace import TraceEntry
+from repro.cpu.trace import ChunkSource, EntryTuple, TraceEntry
 from repro.params import SimScale, SystemConfig, ns
 from repro.workloads.specs import WorkloadSpec
 
@@ -99,12 +99,22 @@ class SyntheticWorkload:
     # ------------------------------------------------------------------
     # Trace generation
     # ------------------------------------------------------------------
-    def trace(self, core_id: int) -> Iterator[TraceEntry]:
-        """Infinite miss trace for one core (rate-mode copy)."""
+    def trace_chunks(self, core_id: int,
+                     chunk_size: int = 256) -> Iterator[List[EntryTuple]]:
+        """Infinite miss trace for one core, in chunks of entry tuples.
+
+        The RNG call sequence is identical to the historical
+        entry-at-a-time generator -- chunking only groups the output --
+        so traces are reproducible across both consumption styles.
+        """
         spec = self.spec
         geometry = self.config.geometry
         rng = random.Random(self._derived_seed(3, core_id, 0))
+        rnd = rng.random
+        randrange = rng.randrange
+        uniform = rng.uniform
         hot_fraction = spec.hot_traffic_fraction
+        stickiness = self.bank_stickiness
         burst = spec.miss_burst
         instructions = spec.instructions_per_miss
         bases = {}
@@ -112,49 +122,62 @@ class SyntheticWorkload:
         num_subch = geometry.subchannels
         num_banks = geometry.banks_per_subchannel
         compute = self.compute_per_miss_ps
+        ws_rows = self.ws_rows
+        compute_burst = compute * burst
         prev_key = None
         while True:
-            # Bank choice: with probability `bank_stickiness` the next
-            # visit returns to the previous bank with a *different* row,
-            # modelling page-conflict locality -- consecutive requests
-            # contending for one bank's row buffer.  These visits pay
-            # tRP + tRCD (and PRAC's inflated tRP/tRC), which is where
-            # PRAC's slowdown comes from on real machines.
-            if prev_key is not None and rng.random() < self.bank_stickiness:
-                subchannel, bank = prev_key
-            else:
-                subchannel = rng.randrange(num_subch)
-                bank = rng.randrange(num_banks)
-            key = (subchannel, bank)
-            prev_key = key
-            if key not in bases:
-                bases[key] = self._bank_base(subchannel, bank)
-                hots[key] = self._bank_hot_offsets(subchannel, bank)
-            if rng.random() < hot_fraction:
-                offset = hots[key][rng.randrange(len(hots[key]))]
-            else:
-                offset = rng.randrange(self.ws_rows)
-            row = bases[key] + offset
-            for i in range(burst):
-                if i == 0:
-                    # The visit's whole compute budget precedes its first
-                    # line; the budget is per-miss, so scale by the burst.
-                    jitter = rng.uniform(0.7, 1.3)
-                    gap = max(_MIN_COMPUTE_PS,
-                              int(compute * burst * jitter))
+            chunk: List[EntryTuple] = []
+            append = chunk.append
+            while len(chunk) < chunk_size:
+                # Bank choice: with probability `bank_stickiness` the
+                # next visit returns to the previous bank with a
+                # *different* row, modelling page-conflict locality --
+                # consecutive requests contending for one bank's row
+                # buffer.  These visits pay tRP + tRCD (and PRAC's
+                # inflated tRP/tRC), which is where PRAC's slowdown
+                # comes from on real machines.
+                if prev_key is not None and rnd() < stickiness:
+                    subchannel, bank = prev_key
                 else:
-                    # Later lines of the same row visit are back-to-back:
-                    # they arrive within tRAS and hit the open row, which
-                    # is what makes ACT-PKI lower than MPKI.
+                    subchannel = randrange(num_subch)
+                    bank = randrange(num_banks)
+                key = (subchannel, bank)
+                prev_key = key
+                hot = hots.get(key)
+                if hot is None:
+                    bases[key] = self._bank_base(subchannel, bank)
+                    hots[key] = hot = self._bank_hot_offsets(
+                        subchannel, bank)
+                if rnd() < hot_fraction:
+                    offset = hot[randrange(len(hot))]
+                else:
+                    offset = randrange(ws_rows)
+                row = bases[key] + offset
+                # The visit's whole compute budget precedes its first
+                # line; the budget is per-miss, so scale by the burst.
+                jitter = uniform(0.7, 1.3)
+                gap = int(compute_burst * jitter)
+                if gap < _MIN_COMPUTE_PS:
                     gap = _MIN_COMPUTE_PS
-                yield TraceEntry(
-                    compute_ps=gap,
-                    instructions=instructions,
-                    subchannel=subchannel,
-                    bank=bank,
-                    row=row,
-                )
+                append((gap, instructions, subchannel, bank, row))
+                # Later lines of the same row visit are back-to-back:
+                # they arrive within tRAS and hit the open row, which
+                # is what makes ACT-PKI lower than MPKI.
+                for _ in range(burst - 1):
+                    append((_MIN_COMPUTE_PS, instructions,
+                            subchannel, bank, row))
+            yield chunk
+
+    def trace(self, core_id: int) -> Iterator[TraceEntry]:
+        """Infinite miss trace for one core (rate-mode copy)."""
+        for chunk in self.trace_chunks(core_id):
+            for tup in chunk:
+                yield TraceEntry(*tup)
+
+    def chunk_source(self, core_id: int) -> ChunkSource:
+        """The chunked trace wrapped for :class:`repro.cpu.core.Core`."""
+        return ChunkSource(self.trace_chunks(core_id))
 
     def trace_factory(self):
         """``core_id -> trace`` callable for :class:`MultiCoreSystem`."""
-        return self.trace
+        return self.chunk_source

@@ -1,0 +1,175 @@
+"""Golden-results regression gate for the simulation kernel.
+
+The kernel is deterministic: one ``(workload, setup, scale, seed)``
+tuple must always produce the same :class:`repro.cpu.system.SimResult`.
+These values were captured before the hot-path optimization pass
+(``__slots__``, chunked traces, tuple-based serve path) and pin the
+kernel's observable behaviour: any future "optimization" that changes
+scheduling decisions, RNG consumption order, refresh sweeps, or tracker
+bookkeeping fails here with a field-level diff rather than silently
+shifting every downstream table.
+
+Floats are compared after rounding to 6 decimals (the precision the
+report prints at); integers must match exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import SimScale
+from repro.sim.registry import setup_by_name
+from repro.sim.runner import simulate
+
+SCALE = SimScale(2048)
+SEED = 0
+
+# Captured at SimScale(2048), seed 0, default SystemConfig.
+GOLDEN = {
+    ("tc", "baseline"): {
+        "total_requests": 4477,
+        "total_activations": 2298,
+        "row_hit_rate": 0.48671,
+        "alerts": [0, 0],
+        "rfms": [0, 0],
+        "mitigations": 0,
+        "victim_rows_refreshed": 0,
+        "demand_rows_refreshed": 8388608,
+        "max_unmitigated_acts": 2,
+        "ipc": [0.099792, 0.095744, 0.090816, 0.099264,
+                0.099968, 0.100672, 0.100672, 0.101024],
+        "bus_utilization": 0.429792,
+    },
+    ("tc", "prac-1000"): {
+        "total_requests": 4157,
+        "total_activations": 2186,
+        "row_hit_rate": 0.47414,
+        "alerts": [0, 0],
+        "rfms": [0, 0],
+        "mitigations": 0,
+        "victim_rows_refreshed": 0,
+        "demand_rows_refreshed": 8388608,
+        "max_unmitigated_acts": 2,
+        "ipc": [0.088704, 0.09328, 0.085888, 0.095744,
+                0.093632, 0.094336, 0.088352, 0.091696],
+        "bus_utilization": 0.399072,
+    },
+    ("tc", "mint-rfm-1000"): {
+        "total_requests": 4335,
+        "total_activations": 2243,
+        "row_hit_rate": 0.482584,
+        "alerts": [0, 0],
+        "rfms": [1, 5],
+        "mitigations": 6,
+        "victim_rows_refreshed": 24,
+        "demand_rows_refreshed": 8388608,
+        "max_unmitigated_acts": 3,
+        "ipc": [0.093456, 0.09064, 0.085888, 0.099616,
+                0.096624, 0.096624, 0.098912, 0.1012],
+        "bus_utilization": 0.41616,
+    },
+    ("tc", "mirza-1000"): {
+        "total_requests": 4477,
+        "total_activations": 2298,
+        "row_hit_rate": 0.48671,
+        "alerts": [0, 0],
+        "rfms": [0, 0],
+        "mitigations": 0,
+        "victim_rows_refreshed": 0,
+        "demand_rows_refreshed": 8388608,
+        "max_unmitigated_acts": 2,
+        "ipc": [0.099792, 0.095744, 0.090816, 0.099264,
+                0.099968, 0.100672, 0.100672, 0.101024],
+        "bus_utilization": 0.429792,
+    },
+    ("mcf", "baseline"): {
+        "total_requests": 6448,
+        "total_activations": 3541,
+        "row_hit_rate": 0.450837,
+        "alerts": [0, 0],
+        "rfms": [0, 0],
+        "mitigations": 0,
+        "victim_rows_refreshed": 0,
+        "demand_rows_refreshed": 8388608,
+        "max_unmitigated_acts": 5,
+        "ipc": [0.71656, 0.667376, 0.711472, 0.686032,
+                0.624976, 0.671616, 0.704688, 0.685184],
+        "bus_utilization": 0.619008,
+    },
+    ("mcf", "prac-1000"): {
+        "total_requests": 5384,
+        "total_activations": 3394,
+        "row_hit_rate": 0.369614,
+        "alerts": [0, 0],
+        "rfms": [0, 0],
+        "mitigations": 0,
+        "victim_rows_refreshed": 0,
+        "demand_rows_refreshed": 8388608,
+        "max_unmitigated_acts": 4,
+        "ipc": [0.524064, 0.618192, 0.594448, 0.564768,
+                0.519824, 0.599536, 0.58512, 0.55968],
+        "bus_utilization": 0.516864,
+    },
+    ("mcf", "mint-rfm-1000"): {
+        "total_requests": 6140,
+        "total_activations": 3390,
+        "row_hit_rate": 0.447883,
+        "alerts": [0, 0],
+        "rfms": [18, 22],
+        "mitigations": 40,
+        "victim_rows_refreshed": 160,
+        "demand_rows_refreshed": 8388608,
+        "max_unmitigated_acts": 4,
+        "ipc": [0.628368, 0.702992, 0.702144, 0.601232,
+                0.611408, 0.630912, 0.653808, 0.675856],
+        "bus_utilization": 0.58944,
+    },
+    ("mcf", "mirza-1000"): {
+        "total_requests": 6448,
+        "total_activations": 3541,
+        "row_hit_rate": 0.450837,
+        "alerts": [0, 0],
+        "rfms": [0, 0],
+        "mitigations": 0,
+        "victim_rows_refreshed": 0,
+        "demand_rows_refreshed": 8388608,
+        "max_unmitigated_acts": 5,
+        "ipc": [0.71656, 0.667376, 0.711472, 0.686032,
+                0.624976, 0.671616, 0.704688, 0.685184],
+        "bus_utilization": 0.619008,
+    },
+}
+
+
+def _observed(result) -> dict:
+    return {
+        "total_requests": result.total_requests,
+        "total_activations": result.total_activations,
+        "row_hit_rate": round(result.row_hit_rate, 6),
+        "alerts": result.alerts,
+        "rfms": result.rfms,
+        "mitigations": result.mitigations,
+        "victim_rows_refreshed": result.victim_rows_refreshed,
+        "demand_rows_refreshed": result.demand_rows_refreshed,
+        "max_unmitigated_acts": result.max_unmitigated_acts,
+        "ipc": [round(x, 6) for x in result.ipc],
+        "bus_utilization": round(result.bus_utilization, 6),
+    }
+
+
+@pytest.mark.parametrize("workload,setup_name",
+                         sorted(GOLDEN),
+                         ids=lambda v: v)
+def test_golden_sim_result(workload: str, setup_name: str) -> None:
+    result = simulate(workload, setup_by_name(setup_name), SCALE,
+                      seed=SEED)
+    observed = _observed(result)
+    expected = GOLDEN[(workload, setup_name)]
+    mismatches = {
+        field: (observed[field], want)
+        for field, want in expected.items()
+        if observed[field] != want
+    }
+    assert not mismatches, (
+        f"{workload}/{setup_name} drifted from the golden capture "
+        f"(observed, expected): {mismatches}")

@@ -71,6 +71,18 @@ class TestCalibration:
         b = calibrated_workload("tc", SCALE, seed=3)
         assert a is b
 
+    def test_calibration_cache_keyed_by_config(self):
+        # Distinct SystemConfigs calibrate differently (pacing depends
+        # on core count and timings) and must not share a cache slot.
+        from repro.params import SystemConfig
+        default = calibrated_workload("tc", SCALE, seed=3)
+        other = calibrated_workload(
+            "tc", SCALE, seed=3, config=SystemConfig(num_cores=4))
+        assert other is not default
+        assert other.config.num_cores == 4
+        # The default-config entry is untouched.
+        assert calibrated_workload("tc", SCALE, seed=3) is default
+
     def test_calibration_hits_target_rate(self):
         result = run_baseline("tc", SCALE, seed=1)
         from repro.workloads.specs import workload_by_name
