@@ -29,7 +29,6 @@ from repro.workloads.attacks import (
     double_sided_attack_stream,
     feinting_attack_stream,
     trr_evasion_pattern,
-    worst_case_single_bank_stream,
 )
 
 TRHD = 1000

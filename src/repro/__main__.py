@@ -8,14 +8,21 @@ Usage::
     python -m repro report [path]          # run everything -> markdown
     python -m repro report --jobs 8        # ... on 8 worker processes
 
+    python -m repro run tc --setup mirza --trace-out trace.json
+                                           # one simulation + Perfetto
+    python -m repro stats                  # metrics table (tc / mirza)
+    python -m repro stats mcf --setup prac-1000
+    python -m repro trace --trace-limit 50000
+
 Bare exhibit names still work (``python -m repro table7`` is shorthand
 for ``python -m repro run table7``).
 
 Every subcommand accepts the shared simulation flags (``--jobs``,
 ``--time-scale``, ``--cgf-scale``, ``--workloads``, ``--seed``,
-``--cache-dir``, ``--no-cache``, ``--profile``).  The ``REPRO_*``
-environment
-variables remain as fallbacks; an explicit flag always wins over the
+``--cache-dir``, ``--no-cache``, ``--profile``) and the observability
+flags (``--metrics``, ``--trace-out``, ``--trace-limit``; see
+``docs/observability.md``).  The ``REPRO_*`` environment variables
+remain as fallbacks; an explicit flag always wins over the
 environment.
 """
 
@@ -30,7 +37,10 @@ from typing import Iterator, List, Optional
 from repro.report import exhibit_names, run_exhibit, write_report
 from repro.sim.session import SimSession
 
-_SUBCOMMANDS = ("list", "run", "report")
+_SUBCOMMANDS = ("list", "run", "report", "stats", "trace")
+
+_DEFAULT_SIM_WORKLOAD = "tc"
+_DEFAULT_SIM_SETUP = "mirza-1000"
 
 _ENV_FLAGS = [
     # (argparse dest, environment variable the flag overrides)
@@ -80,17 +90,37 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--profile", action="store_true",
             help="profile the simulation kernel and print a per-phase "
-                 "breakdown when the command finishes (in-process runs "
-                 "only -- combine with --jobs 1; REPRO_PROFILE=1 works "
-                 "too)")
+                 "breakdown when the command finishes; with --jobs N "
+                 "the workers' profiles are merged into the totals "
+                 "(REPRO_PROFILE=1 works too)")
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="collect the kernel metrics registry over every "
+                 "simulation and print the aggregated table afterwards "
+                 "(REPRO_METRICS=1 works too)")
+        p.add_argument(
+            "--trace-out", default=None, metavar="FILE",
+            help="record structured events and write a Perfetto-"
+                 "loadable Chrome trace to FILE (enables REPRO_TRACE)")
+        p.add_argument(
+            "--trace-limit", type=int, default=None, metavar="N",
+            help="ring-buffer capacity for event tracing "
+                 "(default: REPRO_TRACE_LIMIT or 200000)")
 
     p_list = sub.add_parser("list", help="print the exhibit names")
     add_shared(p_list)
 
     p_run = sub.add_parser(
-        "run", help="run the named exhibits and print their tables")
+        "run", help="run the named exhibits and print their tables, or "
+                    "(with --setup) simulate the named workloads")
     p_run.add_argument("exhibits", nargs="+", metavar="exhibit",
-                       help="exhibit names, e.g. table7 fig11")
+                       help="exhibit names, e.g. table7 fig11; with "
+                            "--setup: workload names, e.g. tc mcf")
+    p_run.add_argument(
+        "--setup", default=None, metavar="SETUP",
+        help="simulate the positional names as *workloads* under this "
+             "mitigation setup (e.g. mirza, prac-1000, baseline) "
+             "instead of treating them as exhibits")
     add_shared(p_run)
 
     p_report = sub.add_parser(
@@ -100,6 +130,34 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="output file "
                                "(default: EXPERIMENTS.generated.md)")
     add_shared(p_report)
+
+    p_stats = sub.add_parser(
+        "stats", help="simulate with metrics collection and print the "
+                      "aggregated metrics table")
+    p_stats.add_argument("targets", nargs="*", metavar="workload",
+                         default=[_DEFAULT_SIM_WORKLOAD],
+                         help=f"workload names (default: "
+                              f"{_DEFAULT_SIM_WORKLOAD})")
+    p_stats.add_argument("--setup", default=_DEFAULT_SIM_SETUP,
+                         metavar="SETUP",
+                         help=f"mitigation setup (default: "
+                              f"{_DEFAULT_SIM_SETUP})")
+    add_shared(p_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="simulate with event tracing and write a "
+                      "Perfetto-loadable Chrome trace")
+    p_trace.add_argument("targets", nargs="*", metavar="workload",
+                         default=[_DEFAULT_SIM_WORKLOAD],
+                         help=f"workload names (default: "
+                              f"{_DEFAULT_SIM_WORKLOAD})")
+    p_trace.add_argument("--setup", default=_DEFAULT_SIM_SETUP,
+                         metavar="SETUP",
+                         help=f"mitigation setup (default: "
+                              f"{_DEFAULT_SIM_SETUP})")
+    p_trace.add_argument("--jsonl-out", default=None, metavar="FILE",
+                         help="also write the raw events as JSON-lines")
+    add_shared(p_trace)
     return parser
 
 
@@ -111,6 +169,12 @@ def _environment(args: argparse.Namespace) -> Iterator[None]:
     saved = {}
     overrides = {var: getattr(args, dest, None)
                  for dest, var in _ENV_FLAGS}
+    if getattr(args, "metrics", False):
+        overrides["REPRO_METRICS"] = "1"
+    if getattr(args, "trace_out", None):
+        overrides["REPRO_TRACE"] = "1"
+    if getattr(args, "trace_limit", None):
+        overrides["REPRO_TRACE_LIMIT"] = getattr(args, "trace_limit")
     try:
         for var, value in overrides.items():
             if value is None:
@@ -134,6 +198,56 @@ def _session_for(args: argparse.Namespace) -> SimSession:
         max_workers=getattr(args, "jobs", None))
 
 
+def _run_simulations(args: argparse.Namespace,
+                     session: SimSession) -> int:
+    """Simulate ``args.targets`` under ``args.setup`` and emit whatever
+    observability output the flags asked for (metrics table, Chrome
+    trace, JSON-lines events)."""
+    from repro.params import SimScale
+    from repro.sim.registry import setup_by_name
+    from repro.sim.session import SimJob
+
+    scale = SimScale(int(os.environ.get("REPRO_TIME_SCALE") or 512))
+    seed = int(os.environ.get("REPRO_SEED") or 0)
+    try:
+        setup = setup_by_name(args.setup, scale)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    targets = list(getattr(args, "targets", None)
+                   or getattr(args, "exhibits"))
+    jobs = [SimJob(name, setup, scale, seed) for name in targets]
+    results = session.run_many(jobs)
+
+    for name, result in zip(targets, results):
+        ipc = sum(result.ipc) / len(result.ipc) if result.ipc else 0.0
+        print(f"{name}: setup={args.setup} requests="
+              f"{result.total_requests} acts={result.total_activations}"
+              f" row-hit={result.row_hit_rate:.3f} mean-ipc={ipc:.3f}")
+
+    if any(result.metrics for result in results):
+        from repro.obs import merge_snapshots, render_metrics_report
+        merged = merge_snapshots(
+            [r.metrics for r in results if r.metrics])
+        print()
+        print(render_metrics_report(merged))
+
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs import export as obs_export
+        events = []
+        for result in results:
+            events.extend(result.trace_events or [])
+        obs_export.write_chrome_trace(events, trace_out)
+        print(f"wrote {len(events)} events to {trace_out} "
+              f"(load in https://ui.perfetto.dev)", file=sys.stderr)
+        jsonl_out = getattr(args, "jsonl_out", None)
+        if jsonl_out:
+            obs_export.write_jsonl(events, jsonl_out)
+            print(f"wrote JSONL events to {jsonl_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Dispatch the CLI arguments; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -150,6 +264,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         args = parser.parse_args(argv)
     except SystemExit as error:
         return int(error.code or 0)
+    # `stats` is `run` with metrics forced on; `trace` defaults the
+    # Chrome-trace destination so a bare `python -m repro trace` works.
+    if args.command == "stats":
+        args.metrics = True
+    elif args.command == "trace" and not args.trace_out:
+        args.trace_out = "trace.json"
     with _environment(args):
         session = _session_for(args)
         if args.command == "list":
@@ -159,8 +279,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.sim.profile import maybe_profile_from_env
         with maybe_profile_from_env(
                 force=getattr(args, "profile", False)) as prof:
+            status = 0
             if args.command == "report":
                 write_report(args.path, session=session)
+            elif args.command in ("stats", "trace") or (
+                    args.command == "run" and args.setup):
+                status = _run_simulations(args, session)
             else:
                 for name in args.exhibits:
                     try:
@@ -170,7 +294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         return 2
         if prof is not None:
             print(prof.report(), file=sys.stderr)
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -22,9 +22,12 @@ coarse-grained event and accumulate wall time into named phases:
 Activation is explicit (:func:`profiling`) or environmental
 (``REPRO_PROFILE=1`` plus :func:`maybe_profile_from_env`); the CLI's
 ``--profile`` flag routes through the former and prints
-:meth:`KernelProfile.report` after the command finishes.  Profiling
-measures the *current process* only -- run with ``--jobs 1`` (the
-default) for meaningful numbers.
+:meth:`KernelProfile.report` after the command finishes.  Profiles
+merge across processes: a :class:`~repro.sim.session.SimSession`
+wraps each pool worker's jobs in a fresh profile, ships it back as a
+dict (:meth:`KernelProfile.to_dict`), and folds it into the parent's
+active profile (:meth:`KernelProfile.merge`), so ``--profile`` with
+``--jobs N`` reports whole-session numbers.
 
 Example::
 
@@ -74,6 +77,32 @@ class KernelProfile:
         self.requests += requests
         self.activations += activations
         self.runs += 1
+
+    # ------------------------------------------------------------------
+    # Cross-process merging
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able view of every counter (the pool return payload)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelProfile":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        profile = cls()
+        for name in cls.__slots__:
+            if name in data:
+                setattr(profile, name, data[name])
+        return profile
+
+    def merge(self, other: "KernelProfile | dict") -> None:
+        """Fold another profile (or its dict form) into this one.
+
+        Every field is additive, so merging is order-independent; a
+        session can fold worker profiles in completion order.
+        """
+        data = other if isinstance(other, dict) else other.to_dict()
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + data.get(name, 0))
 
     # ------------------------------------------------------------------
     # Reporting

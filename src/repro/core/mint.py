@@ -18,12 +18,15 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.obs import metrics as _metrics
+
 
 class MintSampler:
     """Selects one of every ``window`` observed activations at random."""
 
     __slots__ = ("window", "rng", "_position", "_target",
-                 "windows_completed", "observed", "selected")
+                 "windows_completed", "observed", "selected",
+                 "_m_observed", "_m_selected")
 
     def __init__(self, window: int, rng: Optional[random.Random] = None
                  ) -> None:
@@ -36,6 +39,12 @@ class MintSampler:
         self.windows_completed = 0
         self.observed = 0
         self.selected = 0
+        reg = _metrics._ACTIVE
+        if reg is not None:
+            self._m_observed = reg.counter("mint.observed")
+            self._m_selected = reg.counter("mint.selected")
+        else:
+            self._m_observed = self._m_selected = None
 
     def observe(self, row: int) -> Optional[int]:
         """Observe one activation; return ``row`` iff it was selected.
@@ -46,10 +55,16 @@ class MintSampler:
         mitigation opportunity.
         """
         self.observed += 1
+        counter = self._m_observed
+        if counter is not None:
+            counter.value += 1
         picked = None
         if self._position == self._target:
             picked = row
             self.selected += 1
+            counter = self._m_selected
+            if counter is not None:
+                counter.value += 1
         self._position += 1
         if self._position == self.window:
             self._position = 0

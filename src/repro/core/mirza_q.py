@@ -20,12 +20,15 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs import metrics as _metrics
+
 
 class MirzaQueue:
     """Bounded set of (row -> tardiness count) pending mitigations."""
 
     __slots__ = ("capacity", "qth", "_entries", "insertions",
-                 "dropped_insertions", "evictions")
+                 "dropped_insertions", "evictions",
+                 "_m_inserts", "_m_drops", "_m_evictions", "_m_occupancy")
 
     def __init__(self, capacity: int = 4, qth: int = 16) -> None:
         if capacity < 1:
@@ -38,6 +41,15 @@ class MirzaQueue:
         self.insertions = 0
         self.dropped_insertions = 0
         self.evictions = 0
+        reg = _metrics._ACTIVE
+        if reg is not None:
+            self._m_inserts = reg.counter("mirza_q.inserts")
+            self._m_drops = reg.counter("mirza_q.drops")
+            self._m_evictions = reg.counter("mirza_q.evictions")
+            self._m_occupancy = reg.gauge("mirza_q.occupancy")
+        else:
+            self._m_inserts = self._m_drops = None
+            self._m_evictions = self._m_occupancy = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,9 +84,15 @@ class MirzaQueue:
             return True
         if self.full:
             self.dropped_insertions += 1
+            if self._m_drops is not None:
+                self._m_drops.value += 1
             return False
         self._entries[row] = 1
         self.insertions += 1
+        counter = self._m_inserts
+        if counter is not None:
+            counter.value += 1
+            self._m_occupancy.set(len(self._entries))
         return True
 
     def wants_alert(self) -> bool:
@@ -95,6 +113,10 @@ class MirzaQueue:
         row = max(self._entries, key=lambda r: (self._entries[r], -r))
         del self._entries[row]
         self.evictions += 1
+        counter = self._m_evictions
+        if counter is not None:
+            counter.value += 1
+            self._m_occupancy.set(len(self._entries))
         return row
 
     def max_tardiness(self) -> int:

@@ -32,6 +32,7 @@ import enum
 from typing import List, Optional
 
 from repro.dram.refresh import RefreshSlice
+from repro.obs import metrics as _metrics
 from repro.params import DramGeometry
 
 
@@ -48,7 +49,8 @@ class RegionCountTable:
 
     __slots__ = ("num_regions", "fth", "geometry", "reset_policy",
                  "region_size", "_counters", "_rrc", "_refreshing_region",
-                 "filtered_acts", "escaped_acts", "_edge_possible")
+                 "filtered_acts", "escaped_acts", "_edge_possible",
+                 "_m_filtered", "_m_escaped", "_m_resets")
 
     def __init__(self, num_regions: int, fth: int,
                  geometry: DramGeometry = DramGeometry(),
@@ -70,6 +72,13 @@ class RegionCountTable:
         self._refreshing_region: Optional[int] = None
         self.filtered_acts = 0
         self.escaped_acts = 0
+        reg = _metrics._ACTIVE
+        if reg is not None:
+            self._m_filtered = reg.counter("rct.filtered")
+            self._m_escaped = reg.counter("rct.escaped")
+            self._m_resets = reg.counter("rct.resets")
+        else:
+            self._m_filtered = self._m_escaped = self._m_resets = None
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -131,8 +140,12 @@ class RegionCountTable:
                 self._bump(neighbor)
         if escaped:
             self.escaped_acts += 1
+            counter = self._m_escaped
         else:
             self.filtered_acts += 1
+            counter = self._m_filtered
+        if counter is not None:
+            counter.value += 1
         return escaped
 
     # ------------------------------------------------------------------
@@ -147,19 +160,25 @@ class RegionCountTable:
             last = first + self.region_size  # exclusive
             begins = slice_.physical_start <= first < slice_.physical_end
             ends = slice_.physical_start < last <= slice_.physical_end
+            reset = False
             if self.reset_policy is ResetPolicy.EAGER:
                 if begins:
                     self._counters[region] = 0
+                    reset = True
             elif self.reset_policy is ResetPolicy.LAZY:
                 if ends:
                     self._counters[region] = 0
+                    reset = True
             else:  # SAFE
                 if begins:
                     self._rrc = self._counters[region]
                     self._counters[region] = 0
                     self._refreshing_region = region
+                    reset = True
                 if ends and self._refreshing_region == region:
                     self._refreshing_region = None
+            if reset and self._m_resets is not None:
+                self._m_resets.value += 1
 
     # ------------------------------------------------------------------
     # Reporting

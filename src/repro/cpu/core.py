@@ -25,8 +25,8 @@ from time import perf_counter
 from typing import Deque, Iterator, List, Optional, Tuple
 
 from repro import _profile
-from repro.cpu.trace import ChunkSource, EntryTuple, TraceEntry, \
-    chunk_entries
+from repro.cpu.trace import EntryTuple, TraceEntry, chunk_entries
+from repro.obs import metrics as _metrics
 
 
 class Core:
@@ -34,7 +34,8 @@ class Core:
 
     __slots__ = ("core_id", "trace", "mlp", "clock",
                  "retired_instructions", "misses_issued", "_outstanding",
-                 "_chunks", "_buf", "_idx")
+                 "_chunks", "_buf", "_idx", "_m_stall_ps",
+                 "_m_outstanding")
 
     def __init__(self, core_id: int, trace: Iterator[TraceEntry],
                  mlp: int = 8) -> None:
@@ -53,6 +54,12 @@ class Core:
             self._chunks = chunk_entries(trace)
         self._buf: List[EntryTuple] = []
         self._idx = 0
+        reg = _metrics._ACTIVE
+        self._m_stall_ps = reg.counter("cpu.stall_ps") \
+            if reg is not None else None
+        self._m_outstanding = reg.histogram(
+            "cpu.outstanding", bounds=(1, 2, 4, 8, 16, 32)) \
+            if reg is not None else None
 
     def _refill(self) -> bool:
         """Pull the next chunk into the buffer; False when exhausted."""
@@ -95,6 +102,13 @@ class Core:
             raise StopIteration("trace exhausted")
         tup = self._buf[self._idx]
         self._idx += 1
+        counter = self._m_stall_ps
+        if counter is not None:
+            # Time lost waiting on the MLP limit: issue beyond the point
+            # the compute delay alone would have allowed.
+            wait = issue - (self.clock + tup[0])
+            if wait > 0:
+                counter.value += wait
         outstanding = self._outstanding
         if len(outstanding) >= self.mlp:
             outstanding.popleft()
@@ -111,6 +125,9 @@ class Core:
     def complete(self, completion_time: int) -> None:
         """Record the DRAM completion of the just-issued miss."""
         self._outstanding.append(completion_time)
+        hist = self._m_outstanding
+        if hist is not None:
+            hist.observe(len(self._outstanding))
 
     def ipc(self, window_ps: int, cycle_ps: float) -> float:
         """Instructions per cycle over a window of ``window_ps``."""

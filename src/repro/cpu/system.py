@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional
 
 from repro import _profile
 from repro.cpu.core import Core
@@ -41,6 +41,10 @@ class SimResult:
     victim_rows_refreshed: int = 0
     demand_rows_refreshed: int = 0
     max_unmitigated_acts: int = 0
+    metrics: Optional[dict] = None
+    """Metrics snapshot collected over the run (None when disabled)."""
+    trace_events: Optional[list] = None
+    """Structured trace events from the run (None when disabled)."""
 
     def weighted_speedup(self, baseline: "SimResult") -> float:
         """Sum of per-core IPC ratios against ``baseline`` (Section III)."""
@@ -111,7 +115,8 @@ class MultiCoreSystem:
                 per_bank = (lambda s: lambda bank_id: tracker_factory(
                     s, bank_id))(subch)
             device = DramDevice(config, per_bank, mapping,
-                                refs_per_window, blast_radius)
+                                refs_per_window, blast_radius,
+                                subch=subch)
             self.devices.append(device)
             log = None
             if record_commands:
@@ -121,7 +126,7 @@ class MultiCoreSystem:
             drfm = drfm_factory(subch) if drfm_factory else None
             self.mcs.append(MemoryController(config, device, rfm_bat,
                                              command_log=log,
-                                             drfm=drfm))
+                                             drfm=drfm, subch=subch))
         self.cores: List[Core] = [
             Core(i, trace_factory(i), mlp) for i in range(config.num_cores)]
 

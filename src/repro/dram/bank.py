@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.dram.mapping import RowToSubarrayMapping, SequentialR2SA
+from repro.obs import metrics as _metrics
 from repro.params import DramGeometry
 
 
@@ -104,11 +105,13 @@ class Bank:
 
     __slots__ = ("bank_id", "geometry", "mapping", "open_row", "oracle",
                  "total_activations", "total_mitigations",
-                 "victim_rows_refreshed", "_rows_per_bank")
+                 "victim_rows_refreshed", "_rows_per_bank",
+                 "_m_acts", "_m_refs")
 
     def __init__(self, bank_id: int,
                  geometry: DramGeometry = DramGeometry(),
-                 mapping: Optional[RowToSubarrayMapping] = None) -> None:
+                 mapping: Optional[RowToSubarrayMapping] = None,
+                 subch: int = 0) -> None:
         self.bank_id = bank_id
         self.geometry = geometry
         self.mapping = mapping if mapping is not None else SequentialR2SA(
@@ -119,6 +122,13 @@ class Bank:
         self.total_mitigations = 0
         self.victim_rows_refreshed = 0
         self._rows_per_bank = geometry.rows_per_bank
+        # Observability binds at construction: per-bank ACT/REF counters
+        # are prefetched so the off path is a single None check.
+        reg = _metrics._ACTIVE
+        self._m_acts = reg.counter("dram.bank.acts", subch, bank_id) \
+            if reg is not None else None
+        self._m_refs = reg.counter("dram.bank.refs", subch, bank_id) \
+            if reg is not None else None
 
     def activate(self, row: int) -> None:
         """Open ``row`` (the caller has already enforced timing)."""
@@ -129,6 +139,9 @@ class Bank:
         self.open_row = row
         self.total_activations += 1
         self.oracle.on_activate(row)
+        counter = self._m_acts
+        if counter is not None:
+            counter.value += 1
 
     def precharge(self) -> None:
         """Close the open row (idempotent)."""
@@ -149,3 +162,6 @@ class Bank:
     def refresh_rows(self, rows: Iterable[int]) -> None:
         """Demand-refresh ``rows`` (driven by the refresh scheduler)."""
         self.oracle.on_rows_refreshed(rows)
+        counter = self._m_refs
+        if counter is not None:
+            counter.value += 1

@@ -27,6 +27,8 @@ from repro.dram.bank import Bank
 from repro.dram.mapping import RowToSubarrayMapping, SequentialR2SA
 from repro.dram.refresh import RefreshScheduler, RefreshSlice
 from repro.mitigations.base import BankTracker, MitigationSlotSource
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.params import MitigationCosts, SystemConfig
 
 TrackerFactory = Callable[[int], BankTracker]
@@ -89,15 +91,17 @@ class DramDevice:
                  tracker_factory: Optional[TrackerFactory] = None,
                  mapping: Optional[RowToSubarrayMapping] = None,
                  refs_per_window: Optional[int] = None,
-                 blast_radius: int = 2) -> None:
+                 blast_radius: int = 2, subch: int = 0) -> None:
         self.config = config
         geometry = config.geometry
         self.mapping = mapping if mapping is not None else SequentialR2SA(
             geometry)
         self.blast_radius = blast_radius
+        self.subch = subch
         self.num_banks = geometry.banks_per_subchannel
         self.banks: List[Bank] = [
-            Bank(i, geometry, self.mapping) for i in range(self.num_banks)]
+            Bank(i, geometry, self.mapping, subch)
+            for i in range(self.num_banks)]
         if tracker_factory is None:
             from repro.mitigations.none import NoMitigation
             tracker_factory = lambda bank_id: NoMitigation()  # noqa: E731
@@ -112,6 +116,18 @@ class DramDevice:
         self.refresh = RefreshScheduler(geometry, self.mapping,
                                         refs_per_window)
         self.stats = DeviceStats()
+        reg = _metrics._ACTIVE
+        if reg is not None:
+            self._m_refs = reg.counter("dram.refs")
+            self._m_alerts = reg.counter("dram.alerts_serviced")
+            self._m_victims = reg.counter("dram.victim_rows")
+            self._m_mitigations = {
+                source: reg.counter(f"dram.mitigations.{source.value}")
+                for source in MitigationSlotSource}
+        else:
+            self._m_refs = self._m_alerts = self._m_victims = None
+            self._m_mitigations = None
+        self._tr = _trace._ACTIVE
 
     # ------------------------------------------------------------------
     # Controller-facing operations
@@ -164,6 +180,9 @@ class DramDevice:
         if rfm_slots is None:
             rfm_slots = self.config.abo.rfms_per_alert
         self.stats.alerts_serviced += 1
+        if self._m_alerts is not None:
+            self._m_alerts.value += 1
+        trace = self._tr
         total_victims = 0
         for _ in range(max(1, rfm_slots)):
             for bank, tracker in zip(self.banks, self.trackers):
@@ -174,12 +193,20 @@ class DramDevice:
                     self.stats.record_mitigation(
                         MitigationSlotSource.ALERT, victims)
                     total_victims += victims
+                    self._note_mitigation(
+                        MitigationSlotSource.ALERT, victims)
+                    if trace is not None:
+                        trace.instant(now_ps, "MITIGATE", self.subch,
+                                      bank.bank_id)
         return total_victims
 
     def do_ref(self, now_ps: int) -> RefreshSlice:
         """Issue one REF to all banks (same RefPtr slice on each)."""
         slice_ = self.refresh.advance()
         self.stats.refs_issued += 1
+        if self._m_refs is not None:
+            self._m_refs.value += 1
+        trace = self._tr
         # One membership-testable set shared by every bank's oracle: a
         # slice covers thousands of rows, and per-row pops across all
         # banks dominated the whole simulation before this.
@@ -193,6 +220,10 @@ class DramDevice:
                 victims = bank.mitigate(row, self.blast_radius)
                 self.stats.record_mitigation(
                     MitigationSlotSource.REF, victims)
+                self._note_mitigation(MitigationSlotSource.REF, victims)
+                if trace is not None:
+                    trace.instant(now_ps, "MITIGATE", self.subch,
+                                  bank.bank_id)
             self.stats.demand_rows_refreshed += len(slice_.logical_rows)
         return slice_
 
@@ -200,12 +231,24 @@ class DramDevice:
         """Give ``bank_id``'s tracker an RFM slot; return rows mitigated."""
         self.stats.rfms_issued += 1
         bank = self.banks[bank_id]
+        trace = self._tr
         rows = self.trackers[bank_id].on_mitigation_slot(
             now_ps, MitigationSlotSource.RFM)
         for row in rows:
             victims = bank.mitigate(row, self.blast_radius)
             self.stats.record_mitigation(MitigationSlotSource.RFM, victims)
+            self._note_mitigation(MitigationSlotSource.RFM, victims)
+            if trace is not None:
+                trace.instant(now_ps, "MITIGATE", self.subch, bank_id)
         return len(rows)
+
+    def _note_mitigation(self, source: MitigationSlotSource,
+                         victims: int) -> None:
+        """Mirror one mitigation into the metrics registry, if any."""
+        counters = self._m_mitigations
+        if counters is not None:
+            counters[source].value += 1
+            self._m_victims.value += victims
 
     # ------------------------------------------------------------------
     # Verification helpers

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import bisect
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List
 
 from repro.params import DramTimings
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.params import MitigationCosts, SystemConfig
+from repro.params import MitigationCosts
 
 PJ = 1.0
 NJ = 1000.0 * PJ

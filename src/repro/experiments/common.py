@@ -13,12 +13,10 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.rct import RegionCountTable
-from repro.cpu.trace import take
 from repro.dram.mapping import (
     RowToSubarrayMapping,
     SequentialR2SA,
@@ -133,7 +131,6 @@ def measure_cgf(spec: WorkloadSpec,
         StridedR2SA(geometry) if mapping_kind == "strided"
         else SequentialR2SA(geometry))
     synthetic = SyntheticWorkload(spec, config, scale, seed=seed)
-    window = scale.scaled_trefw(config.timings)
     acts_per_bank = scale.scale_count(spec.acts_per_bank_per_window)
     total_acts = int(acts_per_bank * geometry.total_banks)
 

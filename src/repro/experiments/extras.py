@@ -13,13 +13,11 @@
 from __future__ import annotations
 
 import random
-from typing import List
 
 from repro.core.config import MirzaConfig
 from repro.core.mirza import MirzaTracker
 from repro.dram.mapping import StridedR2SA
 from repro.energy import (
-    EnergyParams,
     mirza_sram_power_fraction,
     mitigation_energy_per_act,
 )
@@ -29,7 +27,7 @@ from repro.mitigations.mithril import MithrilTracker
 from repro.mitigations.pride import PrideTracker
 from repro.mitigations.protrr import ProTrrTracker
 from repro.mitigations.trr import TrrTracker
-from repro.params import DramGeometry, SystemConfig
+from repro.params import DramGeometry
 from repro.security.lifetime import lifetime_report
 from repro.security.mint_model import MINT_FAILURE_EXPONENT
 from repro.sim.runner import MINT_RFM_WINDOWS

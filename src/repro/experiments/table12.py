@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.params import DramTimings, MitigationCosts
 from repro.security.area import (
     mint_storage_bytes_per_bank,
     mirza_storage_bytes_per_bank,

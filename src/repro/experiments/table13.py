@@ -10,7 +10,7 @@ bandwidth question, not a tracker question).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.config import MirzaConfig
 from repro.experiments import fig3, fig11

@@ -12,7 +12,7 @@ row is reported analytically alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.mitigations.mithril import MithrilTracker
 from repro.security.analysis import (

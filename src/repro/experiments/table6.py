@@ -20,7 +20,7 @@ from repro.experiments.common import (
 )
 from repro.params import SimScale
 from repro.sim.session import SimSession
-from repro.sim.stats import format_table, mean
+from repro.sim.stats import format_table
 
 PAPER = {
     (1400, "sequential"): 5.16, (1400, "strided"): 98.34,

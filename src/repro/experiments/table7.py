@@ -8,7 +8,7 @@ published FTH and reproduces the SRAM/bank column exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.core.config import MirzaConfig
 from repro.sim.stats import format_table

@@ -21,7 +21,7 @@ from repro.experiments.common import (
 from repro.params import SimScale
 from repro.sim.runner import MINT_RFM_WINDOWS
 from repro.sim.session import SimSession
-from repro.sim.stats import format_table, mean
+from repro.sim.stats import format_table
 
 PAPER = {
     2000: {"mint": 1 / 96, "escape": 1 / 751, "mirza": 1 / 12016,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.obs import metrics as _metrics
 from repro.params import AboTimings
 
 
@@ -85,6 +86,13 @@ class AboEngine:
         self.alerts_asserted = 0
         self._acts_since_alert = 1  # allow the very first ALERT
         self._last_stall_end = -(10 ** 18)
+        reg = _metrics._ACTIVE
+        if reg is not None:
+            # Pre-register so the stats table shows zeros for runs
+            # that never ALERT (assert_alert keeps the rare-path
+            # lookup and needs no prefetched slots).
+            reg.counter("abo.alerts")
+            reg.counter("abo.stall_ps")
 
     def on_activate(self) -> None:
         """Record an ACT (epilogue bookkeeping)."""
@@ -109,6 +117,12 @@ class AboEngine:
         self.alerts_asserted += 1
         self._acts_since_alert = 0
         self._last_stall_end = stall_end
+        reg = _metrics._ACTIVE
+        if reg is not None:
+            # ALERTs are rare (tens per billion ACTs); a registry lookup
+            # here is cheaper than two prefetched slots on every engine.
+            reg.counter("abo.alerts").value += 1
+            reg.counter("abo.stall_ps").value += stall_end - stall_start
         return stall_start, stall_end
 
     def maybe_assert(self, pending: bool, now: int

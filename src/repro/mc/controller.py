@@ -34,8 +34,14 @@ from repro.mc.abo import AboEngine
 from repro.mc.drfm import DrfmEngine
 from repro.mc.rfm import RfmEngine
 from repro.mc.validator import CommandLog
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.params import SystemConfig
 from repro import _profile
+
+_LATENCY_BOUNDS_PS = (25_000, 50_000, 75_000, 100_000, 150_000,
+                      250_000, 500_000, 1_000_000)
+"""Upper bucket edges (ps) of the ``mc.latency_ps`` histogram."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,13 +69,16 @@ class MemoryController:
                  "_open_row", "_row_close_at", "_next_ref",
                  "total_requests", "total_activations", "row_hits",
                  "_tRCD", "_tRAS", "_tRP", "_tCAS", "_tREFI", "_tRFC",
-                 "_stalls", "_rfm_enabled", "_alert_possible")
+                 "_stalls", "_rfm_enabled", "_alert_possible",
+                 "subch", "_m_requests", "_m_row_hits",
+                 "_m_row_conflicts", "_m_latency", "_tr")
 
     def __init__(self, config: SystemConfig, device: DramDevice,
                  rfm_bat: Optional[int] = None,
                  command_log: Optional[CommandLog] = None,
                  rowpress_to_acts: bool = False,
-                 drfm: Optional[DrfmEngine] = None) -> None:
+                 drfm: Optional[DrfmEngine] = None,
+                 subch: int = 0) -> None:
         self.config = config
         self.log = command_log
         self.rowpress_to_acts = rowpress_to_acts
@@ -101,6 +110,20 @@ class MemoryController:
         self._stalls = self.abo.stalls
         self._rfm_enabled = rfm_bat is not None
         self._alert_possible = bool(device._alertable)
+        # Observability: metric objects and the trace buffer are bound
+        # once here; the off path in serve_timing is one None check.
+        self.subch = subch
+        reg = _metrics._ACTIVE
+        if reg is not None:
+            self._m_requests = reg.counter("mc.requests")
+            self._m_row_hits = reg.counter("mc.row_hits")
+            self._m_row_conflicts = reg.counter("mc.row_conflicts")
+            self._m_latency = reg.histogram("mc.latency_ps",
+                                            bounds=_LATENCY_BOUNDS_PS)
+        else:
+            self._m_requests = self._m_row_hits = None
+            self._m_row_conflicts = self._m_latency = None
+        self._tr = _trace._ACTIVE
 
     # ------------------------------------------------------------------
     # Refresh pacing
@@ -116,6 +139,7 @@ class MemoryController:
         tRFC = self._tRFC
         tREFI = self._tREFI
         open_row = self._open_row
+        trace = self._tr
         while self._next_ref <= until:
             start = adjust(self._next_ref)
             end = start + tRFC
@@ -124,6 +148,8 @@ class MemoryController:
                 open_row[bank_id] = None
             if self.log is not None:
                 self.log.record_ref(start, end)
+            if trace is not None:
+                trace.window(start, end, "REF", self.subch)
             self.device.do_ref(start)
             self._next_ref += tREFI
             refs += 1
@@ -161,15 +187,25 @@ class MemoryController:
             self.row_hits += 1
             lower = issue
             activated = False
+            counter = self._m_row_hits
+            if counter is not None:
+                counter.value += 1
         else:
+            conflict = open_row is not None
             issue = self._activate(bank_id, row, arrival,
-                                   conflict=open_row is not None)
+                                   conflict=conflict)
             lower = issue + self._tRCD
             activated = True
+            if conflict and self._m_row_conflicts is not None:
+                self._m_row_conflicts.value += 1
 
         transfer = bus.earliest_transfer(arrival)
         cas = adjust(transfer if transfer > lower else lower)
         data_done = bus.transfer(cas) + self._tCAS
+        counter = self._m_requests
+        if counter is not None:
+            counter.value += 1
+            self._m_latency.observe(data_done - arrival)
         if self.log is not None:
             burst_end = data_done - self._tCAS
             self.log.record_burst(burst_end - self.timings.tBURST,
@@ -241,6 +277,9 @@ class MemoryController:
         self.faw.activate(act)
         if self.log is not None:
             self.log.record_act(act, bank_id)
+        trace = self._tr
+        if trace is not None:
+            trace.instant(act, "ACT", self.subch, bank_id)
         self._open_row[bank_id] = row
         self._row_close_at[bank_id] = act + self._tRAS
         self.total_activations += 1
@@ -282,6 +321,9 @@ class MemoryController:
         self._open_row[bank_id] = None
         if self.log is not None:
             self.log.record_rfm(start, end, bank_id)
+        trace = self._tr
+        if trace is not None:
+            trace.window(start, end, "RFM", self.subch, bank_id)
         self.device.rfm(bank_id, start)
 
     def _issue_drfm(self, act_time: int) -> None:
@@ -289,6 +331,9 @@ class MemoryController:
         latched aggressor under a single tRFM-length stall."""
         start = self.abo.stalls.adjust(act_time + self.timings.tRAS)
         end = start + self.timings.tRFM
+        trace = self._tr
+        if trace is not None:
+            trace.window(start, end, "DRFM", self.subch)
         for bank_id, aggressor in self.drfm.issue_drfm():
             self.banks[bank_id].block_until(end)
             self._open_row[bank_id] = None
@@ -314,6 +359,10 @@ class MemoryController:
         stall_start, stall_end = asserted
         if self.log is not None:
             self.log.record_stall(stall_start, stall_end)
+        trace = self._tr
+        if trace is not None:
+            trace.instant(now, "ALERT", self.subch)
+            trace.window(stall_start, stall_end, "STALL", self.subch)
         self.device.service_alert(stall_end)
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.mint import MintSampler
+from repro.obs import metrics as _metrics
 
 
 class DrfmEngine:
@@ -62,6 +63,9 @@ class DrfmEngine:
         if len(self._samples) < self.min_samples:
             # DREAM: defer until the command can serve enough banks.
             self.deferrals += 1
+            reg = _metrics._ACTIVE
+            if reg is not None:
+                reg.counter("drfm.deferrals").value += 1
             return False
         return True
 
@@ -76,6 +80,10 @@ class DrfmEngine:
         self._acts_since_drfm = 0
         if pairs:
             self.drfms_issued += 1
+            reg = _metrics._ACTIVE
+            if reg is not None:
+                reg.counter("drfm.issued").value += 1
+                reg.counter("drfm.banks_served").value += len(pairs)
         return pairs
 
     @property

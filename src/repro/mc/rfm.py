@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.obs import metrics as _metrics
+
 
 class RfmEngine:
     """Per-bank BAT counters issuing RFM every ``bat`` activations."""
@@ -30,6 +32,9 @@ class RfmEngine:
         self.rfm_duration = rfm_duration
         self._counters: List[int] = [0] * num_banks
         self.rfms_issued = 0
+        reg = _metrics._ACTIVE
+        self._m_issued = reg.counter("rfm.issued") \
+            if reg is not None and bat is not None else None
 
     @property
     def enabled(self) -> bool:
@@ -43,6 +48,9 @@ class RfmEngine:
         if self._counters[bank] >= self.bat:
             self._counters[bank] = 0
             self.rfms_issued += 1
+            counter = self._m_issued
+            if counter is not None:
+                counter.value += 1
             return True
         return False
 

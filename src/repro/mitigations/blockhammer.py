@@ -20,7 +20,7 @@ counts age out (the published design's epoch scheme).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 
 class CountingBloomFilter:

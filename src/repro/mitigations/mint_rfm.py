@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from repro.core.mint import MintSampler
 from repro.mitigations.base import BankTracker, MitigationSlotSource
+from repro.obs import metrics as _metrics
 
 
 class MintTracker(BankTracker):
@@ -51,6 +52,9 @@ class MintTracker(BankTracker):
             # the mitigation cadence is too slow for the window.
             self._pending.pop(0)
             self.dropped_selections += 1
+            reg = _metrics._ACTIVE
+            if reg is not None:
+                reg.counter("mint.dmq_drops").value += 1
         self._pending.append(row)
 
     def on_mitigation_slot(self, now_ps: int,

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.mitigations.base import BankTracker, MitigationSlotSource
+from repro.obs import metrics as _metrics
 from repro.params import AboTimings
 
 
@@ -55,12 +56,18 @@ class PracTracker(BankTracker):
                                 else prac_alert_threshold(trhd, abo))
         self._counters: Dict[int, int] = {}
         self._over_threshold: List[int] = []
+        reg = _metrics._ACTIVE
+        self._m_alert_rows = reg.counter("prac.alert_rows") \
+            if reg is not None else None
 
     def on_activate(self, row: int, now_ps: int) -> None:
         count = self._counters.get(row, 0) + 1
         self._counters[row] = count
         if count == self.alert_threshold:
             self._over_threshold.append(row)
+            counter = self._m_alert_rows
+            if counter is not None:
+                counter.value += 1
 
     def wants_alert(self) -> bool:
         return bool(self._over_threshold)

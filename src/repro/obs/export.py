@@ -1,0 +1,190 @@
+"""Trace exporters: JSONL and Chrome trace-event JSON (Perfetto).
+
+Two interchangeable serializations of the same event list:
+
+- **JSONL** (:func:`write_jsonl` / :func:`read_jsonl`): one JSON
+  object per line, lossless, `jq`-able, and the stable intermediate
+  format for post-processing.
+- **Chrome trace-event JSON** (:func:`write_chrome_trace` /
+  :func:`chrome_trace_events`): the ``{"traceEvents": [...]}`` shape
+  Perfetto and ``chrome://tracing`` load directly.  Each
+  (subchannel, bank) pair becomes its own process/thread lane via
+  ``M`` metadata events; channel-wide events (ALERT, ABO stalls, REF
+  blackouts) land on a dedicated "channel" lane per subchannel.
+
+The exporter *sanitises* on the way out: events are sorted by
+timestamp (the ring buffer interleaves lanes in emission order, which
+is not globally time-ordered), ``E`` events with no matching ``B`` on
+their lane are dropped, and windows left open by ring-buffer wrap are
+closed at the trace's end -- so an exported file always satisfies
+:func:`validate_chrome_trace` (monotonic ``ts``, balanced ``B``/``E``
+nesting per lane), no matter how the buffer was truncated.
+
+Timestamps are picoseconds in the event list and (fractional)
+microseconds in the Chrome export, which is the unit the trace-event
+spec mandates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.trace import CHANNEL_LANE
+
+PS_PER_US = 1_000_000
+
+CHANNEL_TID = 999
+"""Thread id of the channel-wide lane in the Chrome export."""
+
+_FIELDS = ("ts", "ph", "name", "subch", "bank")
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(events: Iterable[List], target: Union[str, IO[str]]
+                ) -> int:
+    """Write events as JSON-lines; returns the number written."""
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            return write_jsonl(events, handle)
+    written = 0
+    for event in events:
+        record = dict(zip(_FIELDS, event))
+        target.write(json.dumps(record, separators=(",", ":")) + "\n")
+        written += 1
+    return written
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[List]:
+    """Inverse of :func:`write_jsonl`: load events from JSON-lines."""
+    if isinstance(source, str):
+        with open(source, "r") as handle:
+            return read_jsonl(handle)
+    events: List[List] = []
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        events.append([record[field] for field in _FIELDS])
+    return events
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _sort_key(event: List) -> Tuple:
+    # Stable time order; at equal timestamps close windows before
+    # opening new ones so back-to-back stalls don't read as nested.
+    return (event[0], 0 if event[1] == "E" else 1)
+
+
+def _sanitize(events: Iterable[List]) -> List[List]:
+    """Sorted events with every ``B`` matched by exactly one ``E``."""
+    ordered = sorted(events, key=_sort_key)
+    depth: Dict[Tuple[int, int, str], int] = {}
+    kept: List[List] = []
+    max_ts = 0
+    for event in ordered:
+        ts, ph, name, subch, bank = event
+        if ts > max_ts:
+            max_ts = ts
+        key = (subch, bank, name)
+        if ph == "B":
+            depth[key] = depth.get(key, 0) + 1
+        elif ph == "E":
+            if depth.get(key, 0) < 1:
+                continue  # orphan E (its B fell off the ring)
+            depth[key] -= 1
+        kept.append([ts, ph, name, subch, bank])
+    # Close windows whose E fell outside the buffered range.
+    for (subch, bank, name), open_count in sorted(depth.items()):
+        for _ in range(open_count):
+            kept.append([max_ts, "E", name, subch, bank])
+    return kept
+
+
+def chrome_trace_events(events: Iterable[List]) -> List[Dict]:
+    """Events in Chrome trace-event form (with lane metadata)."""
+    sanitized = _sanitize(events)
+    lanes = sorted({(e[3], e[4]) for e in sanitized})
+    out: List[Dict] = []
+    for subch in sorted({s for s, _ in lanes}):
+        out.append({"name": "process_name", "ph": "M", "pid": subch,
+                    "tid": 0, "args": {"name": f"subchannel {subch}"}})
+    for subch, bank in lanes:
+        tid = CHANNEL_TID if bank == CHANNEL_LANE else bank
+        label = "channel" if bank == CHANNEL_LANE else f"bank {bank}"
+        out.append({"name": "thread_name", "ph": "M", "pid": subch,
+                    "tid": tid, "args": {"name": label}})
+    for ts, ph, name, subch, bank in sanitized:
+        tid = CHANNEL_TID if bank == CHANNEL_LANE else bank
+        record = {"name": name, "ph": "i" if ph == "I" else ph,
+                  "pid": subch, "tid": tid, "ts": ts / PS_PER_US}
+        if ph == "I":
+            record["s"] = "t"
+        out.append(record)
+    return out
+
+
+def write_chrome_trace(events: Iterable[List],
+                       target: Union[str, IO[str]]) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count."""
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            return write_chrome_trace(events, handle)
+    trace_events = chrome_trace_events(events)
+    json.dump({"traceEvents": trace_events, "displayTimeUnit": "ns"},
+              target, indent=1)
+    target.write("\n")
+    return len(trace_events)
+
+
+def validate_chrome_trace(payload: Union[Dict, List]
+                          ) -> Optional[str]:
+    """Check a Chrome trace payload; returns ``None`` or a complaint.
+
+    Validates the subset of the trace-event schema this exporter (and
+    the tests) rely on: a ``traceEvents`` list, required fields with
+    the right types, non-decreasing timestamps among timed events, and
+    per-lane ``B``/``E`` nesting that never goes negative and ends
+    balanced.
+    """
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return "payload has no traceEvents list"
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return "payload is neither an object nor a list"
+    last_ts = None
+    depth: Dict[Tuple[int, int, str], int] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            return f"event {index} is not an object"
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        for field in ("name", "pid", "tid", "ts"):
+            if field not in event:
+                return f"event {index} lacks {field!r}"
+        if not isinstance(event["ts"], (int, float)):
+            return f"event {index} has a non-numeric ts"
+        if last_ts is not None and event["ts"] < last_ts:
+            return (f"event {index} goes back in time "
+                    f"({event['ts']} < {last_ts})")
+        last_ts = event["ts"]
+        if ph in ("B", "E"):
+            key = (event["pid"], event["tid"], event["name"])
+            depth[key] = depth.get(key, 0) + (1 if ph == "B" else -1)
+            if depth[key] < 0:
+                return f"event {index}: E without matching B on {key}"
+        elif ph not in ("i", "X"):
+            return f"event {index} has unsupported ph {ph!r}"
+    unbalanced = {k: v for k, v in depth.items() if v}
+    if unbalanced:
+        return f"unclosed B events: {sorted(unbalanced)}"
+    return None

@@ -7,6 +7,12 @@ can import it without pulling in :mod:`repro.sim`'s package
 modules.  Import from here in user code::
 
     from repro.sim.profile import profiling
+
+Profiles aggregate across a whole session, including process-pool
+fan-out: :meth:`repro.sim.session.SimSession.run_many` ships each
+worker's :class:`KernelProfile` back as a dict and merges it into the
+parent's active profile, so ``--profile`` combined with ``--jobs N``
+reports totals over every process rather than the parent alone.
 """
 
 from __future__ import annotations

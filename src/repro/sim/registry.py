@@ -62,11 +62,16 @@ def setup_by_name(name: str,
     """Instantiate the registered mitigation setup called ``name``.
 
     ``scale`` feeds factories whose setups carry per-window thresholds
-    (e.g. MIRZA's FTH); scale-independent setups ignore it.  Raises
-    ``KeyError`` listing the known names when ``name`` is unknown.
+    (e.g. MIRZA's FTH); scale-independent setups ignore it.  A bare
+    family name (``"mirza"``, ``"prac"``, ...) is shorthand for its
+    TRHD-1000 configuration.  Raises ``KeyError`` listing the known
+    names when ``name`` is unknown.
     """
+    key = name
+    if key not in _REGISTRY and f"{key}-1000" in _REGISTRY:
+        key = f"{key}-1000"
     try:
-        factory = _REGISTRY[name]
+        factory = _REGISTRY[key]
     except KeyError:
         known = ", ".join(available_setups())
         raise KeyError(

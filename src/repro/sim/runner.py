@@ -36,6 +36,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple, Union
 
+from repro import obs as _obs
 from repro.core.config import MirzaConfig
 from repro.core.mirza import MirzaTracker
 from repro.cpu.system import MultiCoreSystem, SimResult
@@ -295,31 +296,58 @@ def simulate(workload: Union[str, WorkloadSpec],
     path and the process-pool workers call.  Use :func:`run_workload`
     (or a :class:`~repro.sim.session.SimSession`) unless you
     specifically need to bypass result caching.
+
+    When observability is requested (an installed registry/trace buffer
+    or the ``REPRO_METRICS`` / ``REPRO_TRACE`` knobs), collection is
+    scoped over system *construction and the run only* -- calibration
+    probes are excluded -- and the snapshot/events are attached to the
+    returned :class:`SimResult`.  Scoping after calibration is what
+    keeps snapshots identical between serial and process-pool execution:
+    a worker always calibrates fresh while a warm parent reuses the
+    cached workload, so probe traffic must never be counted.
     """
     spec = _resolve(workload)
     sys_config = (config.with_prac_timings() if setup.use_prac_timings
                   else config)
-    synthetic = calibrated_workload(spec, scale, seed, config)
+    # Calibration must run with the sinks *uninstalled*, not merely
+    # outside the collecting scope below: probe systems would otherwise
+    # prefetch the caller's registry and count their traffic into it
+    # (only in-process -- pool workers calibrate with no sink), which
+    # would break the serial/parallel snapshot identity.
+    with _obs.suppressed():
+        synthetic = calibrated_workload(spec, scale, seed, config)
     tracker_factory = None
     if setup.tracker_factory is not None:
-        tracker_factory = (
+        tracker_factory = (  # noqa: E731
             lambda subch, bank: setup.tracker_factory(seed, subch, bank))
     drfm_factory = None
     if setup.drfm_factory is not None:
-        drfm_factory = (
+        drfm_factory = (  # noqa: E731
             lambda subch: setup.drfm_factory(seed, subch))
-    system = MultiCoreSystem(
-        sys_config,
-        trace_factory=synthetic.trace_factory(),
-        tracker_factory=tracker_factory,
-        mapping_factory=lambda: setup.make_mapping(sys_config),
-        rfm_bat=setup.rfm_bat,
-        refs_per_window=scale.scaled_refs_per_window(config.timings),
-        mlp=synthetic.mlp,
-        drfm_factory=drfm_factory,
-    )
+
+    def build() -> MultiCoreSystem:
+        return MultiCoreSystem(
+            sys_config,
+            trace_factory=synthetic.trace_factory(),
+            tracker_factory=tracker_factory,
+            mapping_factory=lambda: setup.make_mapping(sys_config),
+            rfm_bat=setup.rfm_bat,
+            refs_per_window=scale.scaled_refs_per_window(config.timings),
+            mlp=synthetic.mlp,
+            drfm_factory=drfm_factory,
+        )
+
     window = scale.scaled_trefw(config.timings)
-    return system.run(window)
+    collect_metrics = _obs.metrics_requested()
+    collect_trace = _obs.trace_requested()
+    if not (collect_metrics or collect_trace):
+        return build().run(window)
+    with _obs.collecting(metrics=collect_metrics,
+                         trace=collect_trace) as col:
+        result = build().run(window)
+    result.metrics = col.metrics_snapshot()
+    result.trace_events = col.trace_events()
+    return result
 
 
 def run_workload(workload: Union[str, WorkloadSpec],

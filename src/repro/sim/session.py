@@ -56,7 +56,10 @@ from typing import (
     Union,
 )
 
+from repro import _profile
 from repro.cpu.system import SimResult
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.params import (
     AboTimings,
     DramGeometry,
@@ -67,11 +70,32 @@ from repro.params import (
 )
 from repro.workloads.specs import WorkloadSpec, workload_by_name
 
-CACHE_FORMAT = 1
-"""Bump when job hashing or result serialization changes shape."""
+CACHE_FORMAT = 2
+"""Bump when job hashing or result serialization changes shape.
+
+Format 2: :class:`SimResult` grew optional ``metrics`` and
+``trace_events`` fields (PR 3's observability subsystem).
+"""
 
 _MISS = object()
 """Internal sentinel distinguishing 'no cached value' from any result."""
+
+
+def _observability_satisfied(result: Any) -> bool:
+    """True unless ``result`` lacks observability data being requested.
+
+    A :class:`SimResult` cached before metrics/tracing were turned on
+    carries ``None`` in those fields; serving it would silently drop
+    the requested data, so the lookup treats it as a miss and the job
+    recomputes (overwriting the cache entry with a complete one).
+    """
+    if not isinstance(result, SimResult):
+        return True
+    if _obs_metrics.requested() and result.metrics is None:
+        return False
+    if _obs_trace.requested() and result.trace_events is None:
+        return False
+    return True
 
 
 class Undescribable(TypeError):
@@ -201,6 +225,43 @@ def _execute(job: Any) -> Any:
     return job.execute()
 
 
+def _pool_env_overrides() -> Dict[str, str]:
+    """Env vars that carry the parent's observability requests to
+    workers.
+
+    A parent that enabled collection *programmatically* (an installed
+    registry/buffer rather than an env knob) would otherwise fan out to
+    workers that collect nothing.
+    """
+    env: Dict[str, str] = {}
+    if _obs_metrics.requested():
+        env["REPRO_METRICS"] = "1"
+    if _obs_trace.requested():
+        env["REPRO_TRACE"] = "1"
+        buffer = _obs_trace._ACTIVE
+        if buffer is not None:
+            env["REPRO_TRACE_LIMIT"] = str(buffer.limit)
+    return env
+
+
+def _execute_job(payload: Tuple[Any, Dict[str, str], bool]
+                 ) -> Tuple[Any, Optional[dict]]:
+    """Pool entry point carrying observability/profiling context.
+
+    Returns ``(result, profile_dict)`` where ``profile_dict`` is the
+    worker-side :class:`~repro._profile.KernelProfile` in dict form
+    (``None`` unless the parent asked for profiling).
+    """
+    job, env, want_profile = payload
+    for key, value in env.items():
+        os.environ[key] = value
+    if not want_profile:
+        return job.execute(), None
+    with _profile.profiling() as prof:
+        result = job.execute()
+    return result, prof.to_dict()
+
+
 # ----------------------------------------------------------------------
 # The session
 # ----------------------------------------------------------------------
@@ -279,9 +340,22 @@ class SimSession:
         unique = list(pending.items())
         workers = self._effective_workers(max_workers, len(unique))
         if workers > 1 and len(unique) > 1:
+            env = _pool_env_overrides()
+            want_profile = _profile._ACTIVE is not None
+            payloads = [(job, env, want_profile) for _, job in unique]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                computed = list(pool.map(
-                    _execute, [job for _, job in unique]))
+                computed = []
+                for result, prof_dict in pool.map(_execute_job,
+                                                  payloads):
+                    if prof_dict is not None \
+                            and _profile._ACTIVE is not None:
+                        _profile._ACTIVE.merge(prof_dict)
+                    # A worker's collection scope merged into *its*
+                    # process's sinks; fold the shipped snapshot/events
+                    # into the parent's so pooled runs aggregate exactly
+                    # like serial in-process ones.
+                    self._absorb_observability(result)
+                    computed.append(result)
         else:
             computed = [job.execute() for _, job in unique]
         self.stats["misses"] += len(unique) + len(untokened)
@@ -347,8 +421,11 @@ class SimSession:
     def _lookup(self, token: str, job_type: type) -> Any:
         """Memory then disk lookup; returns ``_MISS`` when absent."""
         if token in self._memory:
+            result = self._memory[token]
+            if not _observability_satisfied(result):
+                return _MISS  # cached without the requested metrics
             self.stats["memory_hits"] += 1
-            return self._memory[token]
+            return result
         if self.disk_cache and job_type in _CODECS:
             payload = self._disk_read(token)
             if payload is not None:
@@ -356,10 +433,24 @@ class SimSession:
                     result = _CODECS[job_type][1](payload)
                 except (TypeError, ValueError, KeyError):
                     return _MISS  # stale/corrupt entry: recompute
+                if not _observability_satisfied(result):
+                    return _MISS
                 self.stats["disk_hits"] += 1
                 self._memory[token] = result
                 return result
         return _MISS
+
+    @staticmethod
+    def _absorb_observability(result: Any) -> None:
+        """Fold a pool result's snapshot/events into the parent sinks."""
+        if not isinstance(result, SimResult):
+            return
+        registry = _obs_metrics._ACTIVE
+        if registry is not None and result.metrics:
+            registry.merge_snapshot(result.metrics)
+        buffer = _obs_trace._ACTIVE
+        if buffer is not None and result.trace_events:
+            buffer.extend(result.trace_events)
 
     def _store(self, token: str, job_type: type, result: Any) -> None:
         """Memoise a freshly-computed result (and persist if enabled)."""

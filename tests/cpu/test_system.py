@@ -4,7 +4,7 @@ import pytest
 
 from repro.cpu.system import MultiCoreSystem, SimResult
 from repro.cpu.trace import TraceEntry
-from repro.params import SystemConfig, ns
+from repro.params import ns
 
 
 def uniform_trace(config, compute_ns=50, rows=64):

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.dram.bank import Bank, RowActivationOracle
 from repro.dram.mapping import StridedR2SA
-from repro.params import DramGeometry
 
 
 class TestRowActivationOracle:

@@ -3,7 +3,7 @@
 from repro.dram.device import DramDevice
 from repro.mitigations.base import BankTracker, MitigationSlotSource
 from repro.mitigations.none import NoMitigation
-from repro.params import MitigationCosts, SystemConfig
+from repro.params import MitigationCosts
 
 
 class AlwaysAlertTracker(BankTracker):

@@ -13,7 +13,7 @@ from repro.cpu.trace import TraceEntry
 from repro.dram.device import DramDevice
 from repro.mc.controller import MemoryController
 from repro.mitigations.base import BankTracker, MitigationSlotSource
-from repro.params import SystemConfig, ns
+from repro.params import ns
 
 
 class LyingTracker(BankTracker):

@@ -1,11 +1,10 @@
 """Tests for the RowPress-to-equivalent-ACTs mitigation option."""
 
-import pytest
 
 from repro.dram.device import DramDevice
 from repro.mc.controller import MemoryController
 from repro.mitigations.prac import PracTracker
-from repro.params import SystemConfig, ns
+from repro.params import ns
 
 
 def make(small_config, rowpress=True, tracker=None):

@@ -13,7 +13,6 @@ single-bank harness and assert the paper's security claims:
 
 import random
 
-import pytest
 
 from repro.core.config import MirzaConfig
 from repro.core.mirza import MirzaTracker
@@ -25,7 +24,7 @@ from repro.mitigations.prac import PracTracker
 from repro.mitigations.trr import TrrTracker
 from repro.security.attacks import SingleBankHarness
 from repro.security.mint_model import mint_tolerated_trhd
-from repro.security.mirza_model import abo_extra_acts, mirza_safe_trhd
+from repro.security.mirza_model import abo_extra_acts
 from repro.workloads.attacks import (
     double_sided_attack_stream,
     feinting_attack_stream,
@@ -121,8 +120,6 @@ class TestResetPolicyAblation:
             h.activate(pad)
         # Phase 2: FTH-1 more while region 0 is being swept (the target
         # row, at the end of the region, is refreshed last).
-        refs_per_region = tracker.rct.region_size // \
-            h.refresh.rows_per_ref
         for _ in range(FTH - 1):
             h.activate(target)
         return tracker, h

@@ -1,11 +1,10 @@
 """Tests for the command-granularity memory controller."""
 
-import pytest
 
 from repro.dram.device import DramDevice
 from repro.mc.controller import MemoryController
 from repro.mitigations.base import BankTracker, MitigationSlotSource
-from repro.params import SystemConfig, ns
+from repro.params import ns
 
 
 class OneShotAlertTracker(BankTracker):

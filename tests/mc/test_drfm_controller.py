@@ -6,7 +6,7 @@ from repro.dram.device import DramDevice
 from repro.mc.controller import MemoryController
 from repro.mc.drfm import DrfmEngine
 from repro.mc.validator import CommandLog, TimingValidator
-from repro.params import SystemConfig, ns
+from repro.params import ns
 
 
 def make(small_config, acts_per_drfm=16, sample_window=1):

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.dram.refresh import RefreshScheduler
 from repro.mitigations.base import MitigationSlotSource
 from repro.mitigations.pride import PrideTracker
 from repro.mitigations.protrr import ProTrrTracker

@@ -75,7 +75,6 @@ class TestStorage:
         # TRR 84B, MINT 20B, MIRZA (32 regions at TRHD 4.8K) 72B.
         assert trr_storage_bytes_per_bank() == 84
         assert mint_storage_bytes_per_bank() == 20
-        fth_48k = 2 * (4800 - 16 - 7 - 1)  # huge FTH at current TRHD
         bytes_ = mirza_storage_bytes_per_bank(32, 9000)
         assert bytes_ == pytest.approx(72, abs=4)
 

@@ -3,7 +3,6 @@
 from repro.mitigations.none import NoMitigation
 from repro.mitigations.prac import PracTracker
 from repro.security.attacks import SingleBankHarness
-from repro.params import SystemConfig
 
 
 class TestHarnessBasics:

@@ -1,0 +1,183 @@
+"""Integration tests: observability through simulate/session/CLI.
+
+Covers the guarantees docs/observability.md promises: snapshots attach
+to results, serial and process-pool runs produce identical metrics,
+worker profiles merge into the parent, and the CLI emits valid
+Perfetto traces.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import validate_chrome_trace
+from repro.obs.metrics import merge_snapshots
+from repro.params import SimScale
+from repro.sim.registry import setup_by_name
+from repro.sim.runner import mirza_setup, simulate
+from repro.sim.session import SimJob, SimSession
+
+SCALE = SimScale(2048)  # ~16 us windows: smoke-test speed
+
+
+def _jobs():
+    setup = setup_by_name("mirza", SCALE)
+    return [SimJob(w, setup, SCALE, seed=0) for w in ("tc", "lbm")]
+
+
+class TestSimulateAttachesObservability:
+    def test_off_by_default(self):
+        result = simulate("tc", mirza_setup(1000, SCALE), SCALE)
+        assert result.metrics is None
+        assert result.trace_events is None
+
+    def test_metrics_and_trace_attach(self):
+        with obs.collecting(metrics=True, trace=True):
+            result = simulate("tc", mirza_setup(1000, SCALE), SCALE)
+        assert result.metrics["mc.requests"]["value"] > 0
+        assert result.metrics["mc.requests"]["value"] == \
+            result.total_requests
+        assert any(e[2] == "ACT" for e in result.trace_events)
+
+    def test_env_knob_attaches_metrics(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        result = simulate("tc", mirza_setup(1000, SCALE), SCALE)
+        assert result.metrics is not None
+        assert result.trace_events is None
+
+    def test_bank_acts_sum_to_total_activations(self):
+        with obs.collecting(metrics=True):
+            result = simulate("tc", mirza_setup(1000, SCALE), SCALE)
+        acts = sum(v["value"] for k, v in result.metrics.items()
+                   if k.startswith("dram.bank.acts{"))
+        assert acts == result.total_activations
+
+    def test_calibration_is_not_counted(self):
+        # Two back-to-back collected runs must report identical
+        # snapshots even though only the first calibrates (the probe
+        # binds to no sink); a leak would skew whichever run pays it.
+        with obs.collecting(metrics=True) as a:
+            simulate("tc", mirza_setup(1000, SCALE), SCALE)
+        with obs.collecting(metrics=True) as b:
+            simulate("tc", mirza_setup(1000, SCALE), SCALE)
+        assert a.metrics_snapshot() == b.metrics_snapshot()
+
+    def test_trace_is_perfetto_valid(self):
+        with obs.collecting(metrics=False, trace=True) as col:
+            simulate("tc", mirza_setup(1000, SCALE), SCALE)
+        events = col.trace_events()
+        assert events
+        from repro.obs.export import chrome_trace_events
+        assert validate_chrome_trace(chrome_trace_events(events)) is None
+
+
+class TestSessionAggregation:
+    def _run(self, workers):
+        with obs.collecting(metrics=True, trace=True) as col:
+            session = SimSession(disk_cache=False, max_workers=workers)
+            results = session.run_many(_jobs())
+        return col, results
+
+    def test_serial_and_pool_snapshots_identical(self):
+        col1, res1 = self._run(1)
+        col2, res2 = self._run(2)
+        snap1, snap2 = col1.metrics_snapshot(), col2.metrics_snapshot()
+        assert snap1 == snap2
+        assert [r.metrics for r in res1] == [r.metrics for r in res2]
+        assert sorted(map(tuple, col1.trace_events())) == \
+            sorted(map(tuple, col2.trace_events()))
+
+    def test_session_snapshot_equals_merged_results(self):
+        col, results = self._run(2)
+        merged = merge_snapshots([r.metrics for r in results])
+        assert merged == col.metrics_snapshot()
+
+    def test_pool_profiles_merge_into_parent(self):
+        from repro.sim.profile import KernelProfile, profiling
+        with profiling() as prof:
+            session = SimSession(disk_cache=False, max_workers=2)
+            session.run_many(_jobs())
+        assert isinstance(prof, KernelProfile)
+        assert prof.requests > 0  # counted in the workers
+        assert prof.runs >= 2
+
+    def test_cached_result_without_metrics_is_refreshed(self, tmp_path):
+        session = SimSession(cache_dir=str(tmp_path), disk_cache=True,
+                             max_workers=1)
+        job = _jobs()[0]
+        plain = session.run_many([job])[0]
+        assert plain.metrics is None
+        with obs.collecting(metrics=True):
+            fresh = session.run_many([job])[0]
+        assert fresh.metrics is not None
+        # ... and a satisfying cached result is served as-is.
+        with obs.collecting(metrics=True):
+            cached = session.run_many([job])[0]
+        assert cached.metrics == fresh.metrics
+
+
+class TestProfileMergePrimitives:
+    def test_to_from_dict_round_trip(self):
+        from repro._profile import KernelProfile
+        prof = KernelProfile()
+        prof.requests = 7
+        prof.wall_s = 1.5
+        clone = KernelProfile.from_dict(prof.to_dict())
+        assert clone.to_dict() == prof.to_dict()
+
+    def test_merge_is_additive(self):
+        from repro._profile import KernelProfile
+        a, b = KernelProfile(), KernelProfile()
+        a.requests = 2
+        b.requests = 3
+        a.merge(b)
+        assert a.requests == 5
+        a.merge(b.to_dict())
+        assert a.requests == 8
+
+
+class TestCliObservability:
+    @pytest.fixture(autouse=True)
+    def _fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIME_SCALE", "2048")
+
+    def test_stats_prints_metrics_table(self, capsys):
+        from repro.__main__ import main as cli_main
+        assert cli_main(["stats", "tc", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "dram.bank.acts" in out
+        assert "mc.requests" in out
+        assert "mc.latency_ps" in out
+
+    def test_run_setup_trace_out_writes_valid_trace(self, tmp_path,
+                                                    capsys):
+        from repro.__main__ import main as cli_main
+        target = tmp_path / "trace.json"
+        assert cli_main(["run", "tc", "--setup", "mirza",
+                         "--trace-out", str(target),
+                         "--no-cache"]) == 0
+        payload = json.loads(target.read_text())
+        assert validate_chrome_trace(payload) is None
+        lanes = {(e["pid"], e["tid"])
+                 for e in payload["traceEvents"] if e["ph"] != "M"}
+        assert len(lanes) > 2  # per-bank lanes, not one flat track
+
+    def test_trace_subcommand_jsonl_round_trip(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+        from repro.obs.export import read_jsonl
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        assert cli_main(["trace", "tc", "--trace-out", str(chrome),
+                         "--jsonl-out", str(jsonl),
+                         "--no-cache"]) == 0
+        events = read_jsonl(str(jsonl))
+        assert events
+        from repro.obs.export import chrome_trace_events
+        assert validate_chrome_trace(chrome_trace_events(events)) is None
+
+    def test_unknown_setup_fails_cleanly(self, capsys):
+        from repro.__main__ import main as cli_main
+        assert cli_main(["stats", "tc", "--setup", "nope"]) == 2
+        assert "unknown setup" in capsys.readouterr().err

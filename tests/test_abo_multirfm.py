@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.dram.device import DramDevice
 from repro.mitigations.base import BankTracker, MitigationSlotSource

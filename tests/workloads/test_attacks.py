@@ -1,6 +1,5 @@
 """Tests for the adversarial pattern generators."""
 
-import itertools
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the calibrated synthetic workload generator."""
 
-import itertools
 
 import pytest
 
