@@ -3,9 +3,12 @@
 Usage::
 
     python -m repro list                   # available exhibits
+    python -m repro list --experiments     # registered declarations
     python -m repro run table7             # print one exhibit
     python -m repro run fig11 table8       # several exhibits
+    python -m repro run --experiment fig11 # planner path, with checks
     python -m repro report [path]          # run everything -> markdown
+    python -m repro report --only fig11,table6   # a subset
     python -m repro report --jobs 8        # ... on 8 worker processes
 
     python -m repro run tc --setup mirza --trace-out trace.json
@@ -108,12 +111,16 @@ def _build_parser() -> argparse.ArgumentParser:
                  "(default: REPRO_TRACE_LIMIT or 200000)")
 
     p_list = sub.add_parser("list", help="print the exhibit names")
+    p_list.add_argument(
+        "--experiments", action="store_true",
+        help="list the registered experiment declarations (registry "
+             "name and description) instead of the display titles")
     add_shared(p_list)
 
     p_run = sub.add_parser(
         "run", help="run the named exhibits and print their tables, or "
                     "(with --setup) simulate the named workloads")
-    p_run.add_argument("exhibits", nargs="+", metavar="exhibit",
+    p_run.add_argument("exhibits", nargs="*", metavar="exhibit",
                        help="exhibit names, e.g. table7 fig11; with "
                             "--setup: workload names, e.g. tc mcf")
     p_run.add_argument(
@@ -121,6 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulate the positional names as *workloads* under this "
              "mitigation setup (e.g. mirza, prac-1000, baseline) "
              "instead of treating them as exhibits")
+    p_run.add_argument(
+        "--experiment", action="append", default=None, metavar="NAME",
+        help="run the named experiment declaration through the "
+             "framework planner and print its table plus the declared "
+             "paper-reference checks (repeatable)")
     add_shared(p_run)
 
     p_report = sub.add_parser(
@@ -129,6 +141,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           default="EXPERIMENTS.generated.md",
                           help="output file "
                                "(default: EXPERIMENTS.generated.md)")
+    p_report.add_argument(
+        "--only", default=None, metavar="A,B,...",
+        help="restrict the report to these comma-separated exhibits "
+             "(e.g. --only fig11,table6)")
     add_shared(p_report)
 
     p_stats = sub.add_parser(
@@ -248,6 +264,36 @@ def _run_simulations(args: argparse.Namespace,
     return 0
 
 
+def _run_experiments(names: List[str], session: SimSession) -> int:
+    """Plan the named experiment declarations as one deduplicated
+    batch, then print each rendered table with its declared
+    paper-reference checks and the plan's dedup statistics."""
+    from repro.experiments import framework
+
+    try:
+        plan = framework.plan(names, session=session)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    plan.execute()
+    wanted = {framework.canonical_name(n) for n in names}
+    for experiment in plan.experiments():
+        if framework.canonical_name(experiment.name) not in wanted:
+            continue  # dependency pulled in by `needs`, not asked for
+        result = plan.results[experiment.name]
+        print(framework.render_experiment(experiment, result))
+        for dev in framework.evaluate_checks(experiment, result):
+            print(f"  {dev.flag}: {dev.label} — measured "
+                  f"{dev.measured:g}, paper {dev.paper:g}")
+        print()
+    stats = plan.stats
+    print(f"planned {stats.planned_cells} cells -> "
+          f"{stats.unique_jobs} unique jobs "
+          f"({stats.deduplicated} deduplicated) in "
+          f"{plan.wall_time:.1f}s", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Dispatch the CLI arguments; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -273,25 +319,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     with _environment(args):
         session = _session_for(args)
         if args.command == "list":
-            for name in exhibit_names():
-                print(name)
+            if getattr(args, "experiments", False):
+                from repro.experiments import framework
+                for exp in framework.available_experiments():
+                    print(f"{exp.name}: {exp.description}")
+            else:
+                for name in exhibit_names():
+                    print(name)
             return 0
         from repro.sim.profile import maybe_profile_from_env
         with maybe_profile_from_env(
                 force=getattr(args, "profile", False)) as prof:
             status = 0
             if args.command == "report":
-                write_report(args.path, session=session)
+                only = getattr(args, "only", None)
+                only = ([n for n in only.split(",") if n.strip()]
+                        if only else None)
+                write_report(args.path, only=only, session=session)
             elif args.command in ("stats", "trace") or (
                     args.command == "run" and args.setup):
                 status = _run_simulations(args, session)
             else:
-                for name in args.exhibits:
-                    try:
-                        print(run_exhibit(name, session=session))
-                    except KeyError as error:
-                        print(error, file=sys.stderr)
-                        return 2
+                names = list(args.exhibits)
+                names.extend(getattr(args, "experiment", None) or [])
+                if not names:
+                    print("run: name at least one exhibit (or pass "
+                          "--experiment NAME)", file=sys.stderr)
+                    return 2
+                if getattr(args, "experiment", None):
+                    status = _run_experiments(names, session)
+                else:
+                    for name in names:
+                        try:
+                            print(run_exhibit(name, session=session))
+                        except KeyError as error:
+                            print(error, file=sys.stderr)
+                            return 2
         if prof is not None:
             print(prof.report(), file=sys.stderr)
     return status

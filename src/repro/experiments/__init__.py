@@ -1,10 +1,13 @@
 """One module per table/figure of the paper's evaluation.
 
-Every module exposes ``run(...)`` returning structured results and a
-``main()`` that prints the paper-style table with the published numbers
-alongside the reproduced ones.  The benchmark harness under
-``benchmarks/`` calls these ``run`` functions; EXPERIMENTS.md records
-the paper-vs-measured comparison.
+Every module is a declarative :class:`~repro.experiments.framework.
+Experiment` registration plus a thin ``run(...)`` compatibility wrapper
+returning the structured results and a ``main()`` that prints the
+paper-style table with the published numbers alongside the reproduced
+ones.  The benchmark harness under ``benchmarks/`` calls the ``run``
+functions; the report generator plans every registered declaration as
+one deduplicated session batch; EXPERIMENTS.md records the
+paper-vs-measured comparison.
 
 Experiment scope knobs (environment variables, also accepted as
 arguments):
@@ -17,11 +20,13 @@ arguments):
 """
 
 from repro.experiments import (  # noqa: F401
+    extras,
     fig1,
     fig3,
     fig6,
     fig11,
     fig13,
+    framework,
     table1,
     table2,
     table4,
@@ -37,6 +42,7 @@ from repro.experiments import (  # noqa: F401
 )
 
 __all__ = [
+    "extras", "framework",
     "fig1", "fig3", "fig6", "fig11", "fig13",
     "table1", "table2", "table4", "table5", "table6", "table7",
     "table8", "table9", "table10", "table11", "table12", "table13",

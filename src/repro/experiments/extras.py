@@ -13,6 +13,7 @@
 from __future__ import annotations
 
 import random
+from typing import Dict, Optional
 
 from repro.core.config import MirzaConfig
 from repro.core.mirza import MirzaTracker
@@ -21,6 +22,8 @@ from repro.energy import (
     mirza_sram_power_fraction,
     mitigation_energy_per_act,
 )
+from repro.experiments import framework
+from repro.experiments.framework import Context
 from repro.mitigations.hydra import HydraTracker
 from repro.mitigations.mint_rfm import MintTracker
 from repro.mitigations.mithril import MithrilTracker
@@ -31,10 +34,11 @@ from repro.params import DramGeometry
 from repro.security.lifetime import lifetime_report
 from repro.security.mint_model import MINT_FAILURE_EXPONENT
 from repro.sim.runner import MINT_RFM_WINDOWS
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table
 
 
-def lifetime_table() -> str:
+def _lifetime_table() -> str:
     """Fleet-lifetime interpretation of candidate failure exponents.
 
     Note the calibrated k = 28.5 is the *simplified* model's constant
@@ -54,15 +58,20 @@ def lifetime_table() -> str:
             f"{report.single_machine_failure_10y:.3g}",
             f"{report.fleet_1k_failure_10y:.3g}",
         ])
-    table = format_table(
+    return format_table(
         ["fail exponent k", "1-machine MTTF",
          "P(fail, 1 machine, 10y)", "P(fail, 1k fleet, 10y)"],
         rows, title="Lifetime arithmetic behind the 2^-k budgets")
+
+
+def lifetime_table() -> str:
+    """Print the lifetime table; returns the rendered text."""
+    table = _lifetime_table()
     print(table)
     return table
 
 
-def energy_table() -> str:
+def _energy_table() -> str:
     """Mitigation energy per activation, MINT vs MIRZA (pJ)."""
     escapes = {500: 1 / 30, 1000: 1 / 114, 2000: 1 / 751}
     rows = []
@@ -76,15 +85,20 @@ def energy_table() -> str:
     rows.append(["SRAM power",
                  f"{100 * mirza_sram_power_fraction():.2f}% of chip",
                  "(paper ~0.25%)", ""])
-    table = format_table(
+    return format_table(
         ["TRHD", "MINT", "MIRZA", "reduction"],
         rows, title="Mitigation energy per activation "
                     "(paper escape probabilities)")
+
+
+def energy_table() -> str:
+    """Print the energy table; returns the rendered text."""
+    table = _energy_table()
     print(table)
     return table
 
 
-def storage_comparison(trhd: int = 1000) -> str:
+def _storage_comparison(trhd: int = 1000) -> str:
     """SRAM bytes per bank for every implemented tracker."""
     geometry = DramGeometry()
     config = MirzaConfig.paper_config(trhd)
@@ -100,17 +114,53 @@ def storage_comparison(trhd: int = 1000) -> str:
         ("ProTRR 2K", ProTrrTracker().storage_bits()),
     ]
     rows = [[name, f"{bits / 8:,.0f} B"] for name, bits in trackers]
-    table = format_table(
+    return format_table(
         ["Tracker", "SRAM/bank"], rows,
         title=f"Tracker storage at TRHD={trhd}")
+
+
+def storage_comparison(trhd: int = 1000) -> str:
+    """Print the storage comparison; returns the rendered text."""
+    table = _storage_comparison(trhd)
     print(table)
     return table
 
 
+def _reduce(cells: framework.Cells) -> Dict[str, str]:
+    trhd = cells.ctx.opt("storage_trhd", 1000)
+    return {
+        "lifetime": _lifetime_table(),
+        "energy": _energy_table(),
+        "storage": _storage_comparison(trhd),
+    }
+
+
+def _render(tables: Dict[str, str]) -> str:
+    return "\n\n".join([tables["lifetime"], tables["energy"],
+                        tables["storage"]])
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="extras",
+    title="Extras",
+    description="Lifetime / energy / storage extensions",
+    grid=lambda ctx: (),
+    reduce=_reduce,
+    render=_render,
+))
+
+
+def run(session: Optional[SimSession] = None) -> Dict[str, str]:
+    """Execute the experiment; returns the three rendered tables."""
+    return framework.run_experiment(EXPERIMENT, Context.make(),
+                                    session=session)
+
+
 def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    parts = [lifetime_table(), energy_table(), storage_comparison()]
-    return "\n\n".join(parts)
+    """Print the extension tables; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
+    print(table)
+    return table
 
 
 if __name__ == "__main__":

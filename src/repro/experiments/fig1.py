@@ -11,8 +11,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import MirzaConfig
-from repro.experiments import table8, table10
+from repro.experiments import framework
+from repro.experiments.framework import Check, Context
 from repro.params import SimScale
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table
 
 PAPER = {"mitigation_reduction": 28.5, "area_reduction": 45.0,
@@ -26,12 +28,9 @@ class Fig1Summary:
     sram_bytes_per_bank: float
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None) -> Fig1Summary:
-    """Execute the experiment; returns the structured results."""
-    overhead = [r for r in table8.run(workloads, scale)
-                if r.trhd == 1000][0]
-    area = [r for r in table10.run() if r.trhd == 1000][0]
+def _reduce(cells: framework.Cells) -> Fig1Summary:
+    overhead = [r for r in cells.dep("table8") if r.trhd == 1000][0]
+    area = [r for r in cells.dep("table10") if r.trhd == 1000][0]
     config = MirzaConfig.paper_config(1000)
     return Fig1Summary(
         mitigation_reduction=overhead.reduction,
@@ -40,9 +39,7 @@ def run(workloads: Optional[List[str]] = None,
     )
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    summary = run()
+def _render(summary: Fig1Summary) -> str:
     rows = [
         ["mitigations vs MINT",
          f"{summary.mitigation_reduction:.1f}x fewer",
@@ -52,9 +49,42 @@ def main() -> str:
         ["SRAM per bank", f"{summary.sram_bytes_per_bank:.0f} B",
          f"{PAPER['sram_bytes']} B"],
     ]
-    table = format_table(["Metric", "measured", "paper"], rows,
-                         title="Figure 1(c): headline summary "
-                               "(TRHD=1K)")
+    return format_table(["Metric", "measured", "paper"], rows,
+                        title="Figure 1(c): headline summary "
+                              "(TRHD=1K)")
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="fig1",
+    title="Figure 1c",
+    description="Headline summary",
+    paper=PAPER,
+    grid=lambda ctx: (),
+    reduce=_reduce,
+    render=_render,
+    needs=("table8", "table10"),
+    checks=(
+        Check("mitigation reduction x", PAPER["mitigation_reduction"],
+              lambda r: r.mitigation_reduction, rel_tol=0.9),
+        Check("area reduction x", PAPER["area_reduction"],
+              lambda r: r.area_reduction, rel_tol=0.5),
+        Check("SRAM bytes per bank", PAPER["sram_bytes"],
+              lambda r: r.sram_bytes_per_bank, rel_tol=0.1),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        session: Optional[SimSession] = None) -> Fig1Summary:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, cgf=scale)
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

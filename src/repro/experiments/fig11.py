@@ -11,21 +11,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.common import (
-    default_scale,
-    selected_workloads,
-    sweep_slowdowns,
-)
+from repro.experiments import framework
+from repro.experiments.framework import Cell, Check, Context, TableSpec
 from repro.params import SimScale
 from repro.sim.runner import mirza_setup, prac_setup
-from repro.sim.session import SimSession
-from repro.sim.stats import format_table, mean
+from repro.sim.session import SimJob, SimSession
+from repro.sim.stats import mean
 
 PAPER = {
     "mirza_slowdown": {500: 1.43, 1000: 0.36, 2000: 0.05},
     "prac_slowdown": 6.5,
     "mirza_alerts_per_100_trefi_1k": 2.16,
 }
+
+_THRESHOLDS = (500, 1000, 2000)
 
 
 @dataclass
@@ -38,29 +37,34 @@ class Fig11Result:
         default_factory=dict)
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        thresholds: Sequence[int] = (500, 1000, 2000),
-        session: Optional[SimSession] = None) -> Fig11Result:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or default_scale()
-    specs = selected_workloads(workloads)
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.timed_scale()
+    seed = ctx.run_seed()
+    cells = []
+    for spec in ctx.specs():
+        cells.append(Cell(("prac", spec.name),
+                          SimJob(spec, prac_setup(1000), scale, seed),
+                          slowdown=True))
+        for trhd in ctx.opt("thresholds", _THRESHOLDS):
+            cells.append(Cell(
+                (f"mirza-{trhd}", spec.name),
+                SimJob(spec, mirza_setup(trhd, scale), scale, seed),
+                slowdown=True))
+    return cells
+
+
+def _reduce(cells: framework.Cells) -> Fig11Result:
+    thresholds = cells.ctx.opt("thresholds", _THRESHOLDS)
     result = Fig11Result()
     prac_sd, prac_alerts = [], []
-    pairs = []
-    for spec in specs:
-        pairs.append((spec, prac_setup(1000)))
-        pairs.extend((spec, mirza_setup(trhd, scale))
-                     for trhd in thresholds)
-    outcomes = iter(sweep_slowdowns(pairs, scale, session=session))
-    for spec in specs:
+    for spec in cells.ctx.specs():
         per = {}
-        sd, protected = next(outcomes)
+        sd, protected = cells[("prac", spec.name)]
         per["prac"] = sd
         prac_sd.append(sd)
         prac_alerts.append(protected.alerts_per_100_trefi())
         for trhd in thresholds:
-            sd, protected = next(outcomes)
+            sd, protected = cells[(f"mirza-{trhd}", spec.name)]
             per[f"mirza-{trhd}"] = sd
             per[f"alerts-{trhd}"] = protected.alerts_per_100_trefi()
         result.per_workload[spec.name] = per
@@ -74,9 +78,7 @@ def run(workloads: Optional[List[str]] = None,
     return result
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    result = run()
+def _rows(result: Fig11Result) -> List[List[str]]:
     rows = []
     for trhd in sorted(result.mirza_slowdown):
         rows.append([
@@ -90,9 +92,49 @@ def main() -> str:
     rows.append(["PRAC+ABO", f"{result.prac_slowdown:.2f}%",
                  f"{PAPER['prac_slowdown']}%",
                  f"{result.prac_alert_rate:.2f}", "~0"])
-    table = format_table(
-        ["Config", "Slowdown", "paper", "ALERTs/100 tREFI", "paper"],
-        rows, title="Figure 11: MIRZA vs PRAC performance and ALERTs")
+    return rows
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="fig11",
+    title="Figure 11",
+    description="MIRZA vs PRAC slowdown and ALERTs",
+    paper=PAPER,
+    grid=_grid,
+    reduce=_reduce,
+    render=TableSpec(
+        title="Figure 11: MIRZA vs PRAC performance and ALERTs",
+        columns=("Config", "Slowdown", "paper", "ALERTs/100 tREFI",
+                 "paper"),
+        rows=_rows),
+    checks=(
+        Check("PRAC+ABO slowdown %", PAPER["prac_slowdown"],
+              lambda r: r.prac_slowdown, rel_tol=0.75),
+        Check("MIRZA-1000 slowdown %",
+              PAPER["mirza_slowdown"][1000],
+              lambda r: r.mirza_slowdown.get(1000, float("nan")),
+              rel_tol=1.0, abs_tol=2.0),
+        Check("MIRZA-1000 ALERTs/100 tREFI",
+              PAPER["mirza_alerts_per_100_trefi_1k"],
+              lambda r: r.mirza_alert_rate.get(1000, float("nan")),
+              rel_tol=1.0, abs_tol=2.0),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        thresholds: Sequence[int] = _THRESHOLDS,
+        session: Optional[SimSession] = None) -> Fig11Result:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, scale=scale,
+                       thresholds=tuple(thresholds))
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

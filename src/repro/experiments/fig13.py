@@ -22,12 +22,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import MirzaConfig
-from repro.experiments.common import (
-    CgfJob,
-    cgf_scale,
-    measure_cgf_many,
-    selected_workloads,
-)
+from repro.experiments import framework
+from repro.experiments.common import CgfJob
+from repro.experiments.framework import Cell, Check, Context
 from repro.params import MitigationCosts, SimScale, SystemConfig
 from repro.sim.runner import MINT_RFM_WINDOWS
 from repro.sim.session import SimSession
@@ -38,6 +35,8 @@ PAPER = {
     "mirza": {500: 1.5, 1000: 0.3, 2000: 0.05},
 }
 
+_THRESHOLDS = (500, 1000, 2000)
+
 
 @dataclass
 class Fig13Result:
@@ -45,32 +44,34 @@ class Fig13Result:
     mirza_overhead: Dict[int, float] = field(default_factory=dict)
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        thresholds=(500, 1000, 2000),
-        config: SystemConfig = SystemConfig(),
-        session: Optional[SimSession] = None) -> Fig13Result:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or cgf_scale()
-    specs = selected_workloads(workloads)
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.counting_scale()
+    cells = []
+    for trhd in ctx.opt("thresholds", _THRESHOLDS):
+        mirza_config = MirzaConfig.paper_config(trhd)
+        cells.extend(
+            Cell((trhd, spec.name),
+                 CgfJob(spec, "strided",
+                        scale.scale_threshold(mirza_config.fth),
+                        mirza_config.num_regions, scale))
+            for spec in ctx.specs())
+    return cells
+
+
+def _reduce(cells: framework.Cells) -> Fig13Result:
     victims = MitigationCosts().victims_per_mitigation
+    config = cells.ctx.opt("config", SystemConfig())
     rows_per_bank = config.geometry.rows_per_bank
     result = Fig13Result()
-    mirza_configs = [MirzaConfig.paper_config(trhd)
-                     for trhd in thresholds]
-    jobs = [CgfJob(spec, "strided",
-                   scale.scale_threshold(mirza_config.fth),
-                   mirza_config.num_regions, scale)
-            for mirza_config in mirza_configs for spec in specs]
-    outcomes = iter(measure_cgf_many(jobs, session))
-    for trhd, mirza_config in zip(thresholds, mirza_configs):
+    for trhd in cells.ctx.opt("thresholds", _THRESHOLDS):
+        mirza_config = MirzaConfig.paper_config(trhd)
         mint_vals, mirza_vals = [], []
-        for spec in specs:
+        for spec in cells.ctx.specs():
             acts = spec.acts_per_bank_per_window
             mint_rate = acts / MINT_RFM_WINDOWS[trhd]
             mint_vals.append(
                 100.0 * mint_rate * victims / rows_per_bank)
-            stats = next(outcomes)
+            stats = cells[(trhd, spec.name)]
             escape = (stats.escaped / stats.total_acts
                       if stats.total_acts else 0.0)
             mirza_rate = acts * escape / mirza_config.mint_window
@@ -81,9 +82,7 @@ def run(workloads: Optional[List[str]] = None,
     return result
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    result = run()
+def _render(result: Fig13Result) -> str:
     rows = []
     for trhd in sorted(result.mint_overhead):
         rows.append([
@@ -93,9 +92,44 @@ def main() -> str:
             f"{result.mirza_overhead[trhd]:.3f}% "
             f"(paper {PAPER['mirza'][trhd]}%)",
         ])
-    table = format_table(
+    return format_table(
         ["TRHD", "MINT refresh power", "MIRZA refresh power"],
         rows, title="Figure 13: refresh power overhead")
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="fig13",
+    title="Figure 13",
+    description="Refresh power of MINT vs MIRZA",
+    paper=PAPER,
+    grid=_grid,
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("MINT-1000 refresh power %", PAPER["mint"][1000],
+              lambda r: r.mint_overhead.get(1000, float("nan")),
+              rel_tol=0.75),
+        Check("MIRZA-1000 refresh power %", PAPER["mirza"][1000],
+              lambda r: r.mirza_overhead.get(1000, float("nan")),
+              rel_tol=1.0, abs_tol=1.0),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        thresholds=_THRESHOLDS,
+        config: SystemConfig = SystemConfig(),
+        session: Optional[SimSession] = None) -> Fig13Result:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, cgf=scale,
+                       thresholds=tuple(thresholds), config=config)
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

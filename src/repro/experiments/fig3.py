@@ -11,23 +11,22 @@ The paper reports, averaged over the 24 workloads:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.experiments import framework
+from repro.experiments.framework import Cell, Check, Context, TableSpec
 from repro.params import SimScale
 from repro.sim.runner import mint_rfm_setup, prac_setup
-from repro.sim.session import SimSession
-from repro.sim.stats import format_table, mean
-from repro.experiments.common import (
-    default_scale,
-    selected_workloads,
-    sweep_slowdowns,
-)
+from repro.sim.session import SimJob, SimSession
+from repro.sim.stats import mean
 
 PAPER = {
     "mint_slowdown": {500: 11.1, 1000: 5.81, 2000: 3.08},
     "mint_refresh_power": {500: 16.4, 1000: 8.0, 2000: 4.1},
     "prac_slowdown": 6.5,
 }
+
+_THRESHOLDS = (500, 1000, 2000)
 
 
 @dataclass
@@ -39,35 +38,40 @@ class Fig3Result:
         default_factory=dict)
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        thresholds=(500, 1000, 2000),
-        session: Optional[SimSession] = None) -> Fig3Result:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or default_scale()
-    specs = selected_workloads(workloads)
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.timed_scale()
+    seed = ctx.run_seed()
+    cells = []
+    for spec in ctx.specs():
+        cells.append(Cell(("prac", spec.name),
+                          SimJob(spec, prac_setup(1000), scale, seed),
+                          slowdown=True))
+        for trhd in ctx.opt("thresholds", _THRESHOLDS):
+            cells.append(Cell(
+                (f"mint-{trhd}", spec.name),
+                SimJob(spec, mint_rfm_setup(trhd), scale, seed),
+                slowdown=True))
+    return cells
+
+
+def _reduce(cells: framework.Cells) -> Fig3Result:
+    thresholds = cells.ctx.opt("thresholds", _THRESHOLDS)
+    time_scale = cells.ctx.timed_scale().time_scale
     result = Fig3Result()
     prac_slowdowns = []
-    pairs = []
-    for spec in specs:
-        pairs.append((spec, prac_setup(1000)))
-        pairs.extend((spec, mint_rfm_setup(trhd))
-                     for trhd in thresholds)
-    outcomes = iter(sweep_slowdowns(pairs, scale, session=session))
-    for spec in specs:
+    for spec in cells.ctx.specs():
         per = {}
-        sd, _ = next(outcomes)
+        sd, _ = cells[("prac", spec.name)]
         per["prac"] = sd
         prac_slowdowns.append(sd)
         for trhd in thresholds:
-            sd, protected = next(outcomes)
+            sd, protected = cells[(f"mint-{trhd}", spec.name)]
             per[f"mint-{trhd}"] = sd
             # Scale the victim/demand ratio back to the full tREFW:
             # the demand sweep covers all rows once per window at any
             # time scale (see Figure 13's module docstring).
             per[f"mint-rp-{trhd}"] = \
-                protected.refresh_power_overhead_pct() \
-                * scale.time_scale
+                protected.refresh_power_overhead_pct() * time_scale
         result.per_workload[spec.name] = per
     for trhd in thresholds:
         result.mint_slowdown[trhd] = mean(
@@ -78,9 +82,7 @@ def run(workloads: Optional[List[str]] = None,
     return result
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    result = run()
+def _rows(result: Fig3Result) -> List[List[str]]:
     rows = []
     for trhd in sorted(result.mint_slowdown):
         rows.append([
@@ -92,10 +94,49 @@ def main() -> str:
         ])
     rows.append(["PRAC (any)", f"{result.prac_slowdown:.2f}%",
                  f"{PAPER['prac_slowdown']}%", "0%", "0%"])
-    table = format_table(
-        ["TRHD", "MINT+RFM slowdown", "paper",
-         "MINT+RFM refresh power", "paper"],
-        rows, title="Figure 3: proactive mitigation overheads")
+    return rows
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="fig3",
+    title="Figure 3",
+    description="MINT+RFM vs PRAC overheads",
+    paper=PAPER,
+    grid=_grid,
+    reduce=_reduce,
+    render=TableSpec(
+        title="Figure 3: proactive mitigation overheads",
+        columns=("TRHD", "MINT+RFM slowdown", "paper",
+                 "MINT+RFM refresh power", "paper"),
+        rows=_rows),
+    checks=(
+        Check("PRAC+ABO slowdown %", PAPER["prac_slowdown"],
+              lambda r: r.prac_slowdown, rel_tol=0.75),
+        Check("MINT+RFM-1000 slowdown %",
+              PAPER["mint_slowdown"][1000],
+              lambda r: r.mint_slowdown.get(1000, float("nan")),
+              rel_tol=0.75),
+        Check("MINT+RFM-1000 refresh power %",
+              PAPER["mint_refresh_power"][1000],
+              lambda r: r.mint_refresh_power.get(1000, float("nan")),
+              rel_tol=0.75),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        thresholds: Sequence[int] = _THRESHOLDS,
+        session: Optional[SimSession] = None) -> Fig3Result:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, scale=scale,
+                       thresholds=tuple(thresholds))
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

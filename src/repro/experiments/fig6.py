@@ -11,12 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.experiments.common import (
-    SubarrayStatsJob,
-    cgf_scale,
-    selected_workloads,
-    subarray_stats_many,
-)
+from repro.experiments import framework
+from repro.experiments.common import SubarrayStatsJob
+from repro.experiments.framework import Cell, Check, Context
 from repro.params import SimScale, max_acts_per_bank_per_trefw
 from repro.sim.session import SimSession
 from repro.sim.stats import format_table, mean
@@ -37,24 +34,23 @@ class Fig6Result:
         return self.worst_case / self.average if self.average else 0.0
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        session: Optional[SimSession] = None) -> Fig6Result:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or cgf_scale()
-    specs = selected_workloads(workloads)
-    stats = subarray_stats_many(
-        [SubarrayStatsJob(spec, scale) for spec in specs], session)
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.counting_scale()
+    return [Cell(spec.name, SubarrayStatsJob(spec, scale))
+            for spec in ctx.specs()]
+
+
+def _reduce(cells: framework.Cells) -> Fig6Result:
+    scale = cells.ctx.counting_scale()
     per_workload = {}
-    for spec, (measured_mean, _) in zip(specs, stats):
+    for spec in cells.ctx.specs():
+        measured_mean, _ = cells[spec.name]
         per_workload[spec.name] = measured_mean * scale.time_scale
     return Fig6Result(per_workload=per_workload,
                       worst_case=max_acts_per_bank_per_trefw())
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    result = run()
+def _render(result: Fig6Result) -> str:
     from repro.workloads.specs import workload_by_name
     rows = [[name, f"{value:.0f}",
              workload_by_name(name).acts_per_subarray_mean]
@@ -63,9 +59,37 @@ def main() -> str:
                  "621K"])
     rows.append(["divergence vs avg", f"{result.divergence:.0f}x",
                  "~423x"])
-    table = format_table(
+    return format_table(
         ["Workload", "ACTs/subarray/tREFW (measured)", "paper"],
         rows, title="Figure 6: benign vs worst-case ACT density")
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="fig6",
+    title="Figure 6",
+    description="Benign vs worst-case ACT density",
+    paper={"worst_case": 621_000, "divergence": 423},
+    grid=_grid,
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("worst-case/average divergence x", 423,
+              lambda r: r.divergence, rel_tol=0.9),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        session: Optional[SimSession] = None) -> Fig6Result:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, cgf=scale)
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

@@ -1,0 +1,537 @@
+"""Declarative experiment framework: declaration -> plan -> reduce.
+
+Every table/figure in this repository is an :class:`Experiment`
+*declaration*: a grid of :class:`Cell` jobs (``SimJob``, ``CgfJob``,
+``SubarrayStatsJob``, or any session-runnable job type), a pure
+``reduce(cells) -> Result`` that folds the cell results into the
+module's structured result object, a render schema (usually a
+:class:`TableSpec`), and the paper's reference values with declared
+tolerances (:class:`Check`).  Declarations register themselves in a
+process-wide registry mirroring :mod:`repro.sim.registry`.
+
+The payoff is the **planner**: :func:`plan` flattens the grids of any
+set of experiments -- plus their declared dependencies (``needs``) --
+into one job list, derives the unprotected baselines slowdown cells
+need, and submits the whole thing as a *single*
+:meth:`~repro.sim.session.SimSession.run_many` batch.  Cells shared
+between experiments (the PRAC runs of Figure 3 and Figure 11, the
+baselines nearly every experiment references, the CGF measurements
+Table XIII transitively re-uses) are keyed by the session's content
+tokens and therefore planned exactly once.  Results fan back out to
+each experiment's reducer in dependency order.
+
+Example -- a complete experiment in ~30 lines::
+
+    from repro.experiments import framework
+    from repro.sim.runner import mirza_setup
+    from repro.sim.session import SimJob
+
+    def _grid(ctx):
+        scale = ctx.timed_scale()
+        return [framework.Cell(spec.name,
+                               SimJob(spec, mirza_setup(1000, scale),
+                                      scale, ctx.run_seed()),
+                               slowdown=True)
+                for spec in ctx.specs()]
+
+    def _reduce(cells):
+        return {spec.name: cells[spec.name][0]
+                for spec in cells.ctx.specs()}
+
+    EXPERIMENT = framework.Experiment(
+        name="demo", title="Demo", description="MIRZA-1K slowdowns",
+        grid=_grid, reduce=_reduce,
+        render=framework.TableSpec(
+            title="Demo", columns=("Workload", "Slowdown"),
+            rows=lambda r: [[n, f"{s:.2f}%"] for n, s in r.items()]))
+    framework.register_experiment(EXPERIMENT)
+
+Reducers must be **pure**: the same cell values must produce the same
+Result bit for bit, regardless of worker count or cache state.  That
+is what lets the planner serve a cell computed for one experiment to
+every other experiment that declares it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.params import SimScale
+from repro.sim.session import (
+    BatchStats,
+    SimSession,
+    get_default_session,
+    job_token,
+)
+from repro.workloads.specs import WorkloadSpec
+
+
+# ----------------------------------------------------------------------
+# Execution context
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Context:
+    """Resolved runtime knobs an experiment grid is built against.
+
+    ``None`` fields fall back to the environment defaults
+    (``REPRO_WORKLOADS``, ``REPRO_TIME_SCALE``, ``REPRO_CGF_SCALE``,
+    ``REPRO_SEED``) at *use* time, so a default ``Context`` is cheap to
+    build and always reflects the current environment.  ``options``
+    carries per-experiment overrides (threshold sweeps, queue sizes,
+    ...) as a frozen, hashable key/value tuple; contexts are compared
+    by value so the planner can recognise "same experiment, same
+    knobs" across dependency edges.
+    """
+
+    workloads: Optional[Tuple[str, ...]] = None
+    scale: Optional[SimScale] = None
+    cgf: Optional[SimScale] = None
+    seed: Optional[int] = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, workloads: Optional[Sequence[str]] = None,
+             scale: Optional[SimScale] = None,
+             cgf: Optional[SimScale] = None,
+             seed: Optional[int] = None,
+             **options: Any) -> "Context":
+        """Build a context; keyword extras become ``options`` entries."""
+        if workloads is not None:
+            workloads = tuple(
+                spec.name if isinstance(spec, WorkloadSpec) else spec
+                for spec in workloads)
+        return cls(workloads=workloads, scale=scale, cgf=cgf, seed=seed,
+                   options=tuple(sorted(
+                       (key, value) for key, value in options.items()
+                       if value is not None)))
+
+    def specs(self) -> List[WorkloadSpec]:
+        """The workload list this context selects."""
+        from repro.experiments.common import selected_workloads
+        return selected_workloads(self.workloads)
+
+    def timed_scale(self) -> SimScale:
+        """Window divisor for timed simulation cells."""
+        from repro.experiments.common import default_scale
+        return self.scale if self.scale is not None else default_scale()
+
+    def counting_scale(self) -> SimScale:
+        """Window divisor for activation-counting cells."""
+        from repro.experiments.common import cgf_scale
+        return self.cgf if self.cgf is not None else cgf_scale()
+
+    def run_seed(self) -> int:
+        """Base RNG seed for the context's cells."""
+        from repro.experiments.common import default_seed
+        return self.seed if self.seed is not None else default_seed()
+
+    def opt(self, key: str, default: Any = None) -> Any:
+        """Look up a per-experiment option with a declared default."""
+        for name, value in self.options:
+            if name == key:
+                return value
+        return default
+
+
+# ----------------------------------------------------------------------
+# Declaration pieces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Cell:
+    """One planned measurement of an experiment's grid.
+
+    ``key`` names the cell within its experiment (any hashable; the
+    reducer indexes results by it).  ``job`` is a session-runnable job.
+    ``slowdown=True`` asks the planner to derive and batch the matching
+    unprotected baseline and deliver ``(slowdown_pct, result)`` instead
+    of the bare result -- exactly the
+    :meth:`~repro.sim.session.SimSession.slowdowns` contract.
+    """
+
+    key: Any
+    job: Any
+    slowdown: bool = False
+
+
+@dataclass(frozen=True)
+class Check:
+    """One paper-reference comparison with a declared tolerance.
+
+    The reproduction *deviates* on this check when the measured value
+    sits further from ``paper`` than ``max(abs_tol, rel_tol * |paper|)``.
+    Tolerances are declarative documentation of the expected
+    scale-induced spread, not assertions -- the report flags them, it
+    never fails on them.
+    """
+
+    label: str
+    paper: float
+    measured: Callable[[Any], float]
+    rel_tol: float = 0.5
+    abs_tol: float = 0.0
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """An evaluated :class:`Check`: measured vs paper, flagged."""
+
+    label: str
+    measured: float
+    paper: float
+    within: bool
+
+    @property
+    def flag(self) -> str:
+        return "ok" if self.within else "DEV"
+
+
+@dataclass(frozen=True, eq=False)
+class TableSpec:
+    """Declarative render schema: one paper-style table per experiment.
+
+    ``rows`` maps the experiment's Result to the table body;
+    ``columns`` and ``title`` feed
+    :func:`repro.sim.stats.format_table` unchanged.
+    """
+
+    title: str
+    columns: Tuple[str, ...]
+    rows: Callable[[Any], Sequence[Sequence[Any]]]
+
+
+Renderer = Union[TableSpec, Callable[[Any], str]]
+
+
+@dataclass(frozen=True, eq=False)
+class Experiment:
+    """A declarative table/figure: grid + reduce + render + references.
+
+    ``grid(ctx)`` yields the cell grid (empty for analytic exhibits);
+    ``reduce(cells)`` is a pure fold from cell results (and declared
+    dependency results, via ``cells.dep(name)``) to the module's Result
+    object; ``render`` turns a Result into the paper-style table;
+    ``checks`` compare the Result against the paper's numbers.
+    ``needs`` names experiments whose Results the reducer consumes --
+    the planner plans their grids into the same batch, which is where
+    cross-experiment cell dedup comes from.
+    """
+
+    name: str
+    title: str
+    description: str
+    grid: Callable[[Context], Sequence[Cell]]
+    reduce: Callable[["Cells"], Any]
+    render: Renderer
+    paper: Mapping[Any, Any] = field(default_factory=dict)
+    needs: Tuple[str, ...] = ()
+    checks: Tuple[Check, ...] = ()
+
+
+class Cells:
+    """The reducer's view of one experiment's resolved cell results."""
+
+    def __init__(self, ctx: Context, values: Dict[Any, Any],
+                 deps: Dict[str, Any]) -> None:
+        self.ctx = ctx
+        self._values = values
+        self._deps = deps
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._values[key]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def dep(self, name: str) -> Any:
+        """The Result of a dependency declared in ``Experiment.needs``."""
+        return self._deps[name]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_ROMAN = {"i": "1", "ii": "2", "iii": "3", "iv": "4", "v": "5",
+          "vi": "6", "vii": "7", "viii": "8", "ix": "9", "x": "10",
+          "xi": "11", "xii": "12", "xiii": "13"}
+
+
+def canonical_name(name: str) -> str:
+    """Normalise an exhibit name: 'Table X' == 'table10' == 'tableX'."""
+    flat = name.lower().replace(" ", "").replace("_", "")
+    for prefix in ("table", "figure", "fig"):
+        if flat.startswith(prefix):
+            suffix = flat[len(prefix):]
+            kind = "figure" if prefix.startswith("f") else "table"
+            return kind + _ROMAN.get(suffix, suffix)
+    return flat
+
+
+_REGISTRY: "OrderedDict[str, Experiment]" = OrderedDict()
+_ALIASES: Dict[str, str] = {}
+
+
+def register_experiment(experiment: Experiment,
+                        replace: bool = False) -> Experiment:
+    """Register a declaration; its title becomes a lookup alias.
+
+    Refuses to shadow an existing name unless ``replace=True``, so
+    typos in extension code fail loudly instead of silently redefining
+    a paper exhibit.  Returns the experiment for decorator-style use.
+    """
+    key = canonical_name(experiment.name)
+    if not replace and key in _REGISTRY:
+        raise ValueError(f"experiment {experiment.name!r} is already "
+                         f"registered; pass replace=True to override")
+    _REGISTRY[key] = experiment
+    _ALIASES[canonical_name(experiment.title)] = key
+    return experiment
+
+
+def _ensure_declarations_loaded() -> None:
+    """Import the experiment package so every module registers."""
+    import repro.experiments  # noqa: F401
+
+
+def available_experiments() -> List[Experiment]:
+    """Registered declarations, in registration order."""
+    _ensure_declarations_loaded()
+    return list(_REGISTRY.values())
+
+
+def experiment_by_name(name: str) -> Experiment:
+    """Look an experiment up by module name or paper title.
+
+    ``"fig11"``, ``"Figure 11"``, ``"table10"``, and ``"Table X"`` all
+    resolve to the same declaration.  Raises ``KeyError`` listing the
+    known names when ``name`` is unknown.
+    """
+    _ensure_declarations_loaded()
+    key = canonical_name(name)
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(e.name for e in _REGISTRY.values())
+        raise KeyError(
+            f"unknown exhibit {name!r}; known: {known}") from None
+
+
+# ----------------------------------------------------------------------
+# Planning and execution
+# ----------------------------------------------------------------------
+@dataclass
+class PlanStats:
+    """How much work a plan declared vs what it actually submitted."""
+
+    experiments: int = 0
+    planned_cells: int = 0
+    """Grid cells plus derived baselines, before any deduplication."""
+
+    unique_jobs: int = 0
+    """Distinct content tokens among the planned jobs (untokened jobs
+    each count as unique -- they can never deduplicate)."""
+
+    @property
+    def deduplicated(self) -> int:
+        """Planned jobs whose content another planned job covers."""
+        return self.planned_cells - self.unique_jobs
+
+
+@dataclass
+class _Entry:
+    experiment: Experiment
+    ctx: Context
+    cells: Tuple[Cell, ...]
+
+
+class Plan:
+    """A batched execution of one or more experiment declarations.
+
+    Built by :func:`plan`; :meth:`execute` submits every planned job as
+    a single session batch and reduces each experiment.  ``stats``
+    holds the plan-level dedup numbers, ``batch`` the session's
+    :class:`~repro.sim.session.BatchStats` for the submitted batch, and
+    ``wall_time`` the end-to-end execution seconds.
+    """
+
+    def __init__(self, entries: "OrderedDict[str, _Entry]",
+                 session: SimSession) -> None:
+        self.session = session
+        self._entries = entries
+        self.stats = PlanStats(experiments=len(entries))
+        self.batch: Optional[BatchStats] = None
+        self.results: Dict[str, Any] = {}
+        self.wall_time = 0.0
+        self._jobs: List[Any] = []
+        # name -> [(cell, job index, baseline index or None), ...]
+        self._layout: Dict[str, List[Tuple[Cell, int, Optional[int]]]] \
+            = {}
+        self._lay_out()
+
+    def _lay_out(self) -> None:
+        from repro.sim.runner import baseline_setup
+        setup = baseline_setup()
+        for name, entry in self._entries.items():
+            slots: List[Tuple[Cell, int, Optional[int]]] = []
+            seen_keys = set()
+            for cell in entry.cells:
+                if cell.key in seen_keys:
+                    raise ValueError(
+                        f"experiment {name!r} declared duplicate cell "
+                        f"key {cell.key!r}")
+                seen_keys.add(cell.key)
+                job = (cell.job.resolved()
+                       if hasattr(cell.job, "resolved") else cell.job)
+                index = len(self._jobs)
+                self._jobs.append(job)
+                baseline_index = None
+                if cell.slowdown:
+                    baseline_index = len(self._jobs)
+                    self._jobs.append(
+                        dataclasses.replace(job, setup=setup))
+                slots.append((cell, index, baseline_index))
+            self._layout[name] = slots
+        tokens = [job_token(job) for job in self._jobs]
+        self.stats.planned_cells = len(self._jobs)
+        self.stats.unique_jobs = (
+            len({t for t in tokens if t is not None})
+            + sum(1 for t in tokens if t is None))
+
+    def experiments(self) -> List[Experiment]:
+        """The planned declarations, in reduce (dependency) order."""
+        return [entry.experiment for entry in self._entries.values()]
+
+    def cell_count(self, name: str) -> int:
+        """Planned jobs (cells + baselines) for one experiment."""
+        entry = self._entries[canonical_name(name)]
+        return sum(2 if cell.slowdown else 1 for cell in entry.cells)
+
+    def execute(self) -> Dict[str, Any]:
+        """Run the single batch and reduce every planned experiment.
+
+        Returns ``{experiment.name: Result}`` for every experiment in
+        the plan (dependencies included).  Idempotent: a second call
+        re-reduces from the session cache.
+        """
+        start = time.perf_counter()
+        results = (self.session.run_many(self._jobs)
+                   if self._jobs else [])
+        self.batch = self.session.last_batch if self._jobs else None
+        out: Dict[str, Any] = {}
+        for name, entry in self._entries.items():
+            values: Dict[Any, Any] = {}
+            for cell, index, baseline_index in self._layout[name]:
+                if baseline_index is None:
+                    values[cell.key] = results[index]
+                else:
+                    protected = results[index]
+                    values[cell.key] = (
+                        protected.slowdown_pct(results[baseline_index]),
+                        protected)
+            deps = {need: out[canonical_name(need)]
+                    for need in entry.experiment.needs}
+            out[name] = entry.experiment.reduce(
+                Cells(entry.ctx, values, deps))
+        self.results = {entry.experiment.name: out[name]
+                        for name, entry in self._entries.items()}
+        self.wall_time = time.perf_counter() - start
+        return self.results
+
+
+def plan(experiments: Sequence[Union[str, Experiment]],
+         ctx: Optional[Context] = None,
+         session: Optional[SimSession] = None) -> Plan:
+    """Lay out a deduplicated batch over ``experiments`` and their
+    dependencies.
+
+    Dependencies run under the *same* context as the experiment that
+    pulled them in, and an experiment reached through several paths is
+    planned once.  The returned :class:`Plan` has not executed yet, so
+    its ``stats`` can be inspected (and tested) without simulating.
+    """
+    ctx = ctx if ctx is not None else Context.make()
+    session = session or get_default_session()
+    entries: "OrderedDict[str, _Entry]" = OrderedDict()
+
+    def add(experiment: Experiment, context: Context) -> None:
+        key = canonical_name(experiment.name)
+        if key in entries:
+            if entries[key].ctx != context:
+                raise ValueError(
+                    f"experiment {experiment.name!r} planned twice "
+                    f"with different contexts")
+            return
+        for need in experiment.needs:
+            add(experiment_by_name(need), context)
+        entries[key] = _Entry(experiment, context,
+                              tuple(experiment.grid(context)))
+
+    for item in experiments:
+        add(item if isinstance(item, Experiment)
+            else experiment_by_name(item), ctx)
+    return Plan(entries, session)
+
+
+def run_experiment(experiment: Union[str, Experiment],
+                   ctx: Optional[Context] = None,
+                   session: Optional[SimSession] = None) -> Any:
+    """Plan and execute one experiment; returns its Result.
+
+    This is what the legacy per-module ``run()`` wrappers call: one
+    declaration, its dependencies batched alongside, one fan-out.
+    """
+    if not isinstance(experiment, Experiment):
+        experiment = experiment_by_name(experiment)
+    return plan([experiment], ctx=ctx,
+                session=session).execute()[experiment.name]
+
+
+# ----------------------------------------------------------------------
+# Rendering and reference checks
+# ----------------------------------------------------------------------
+def render_experiment(experiment: Union[str, Experiment],
+                      result: Any) -> str:
+    """Render a Result through the experiment's declared schema."""
+    if not isinstance(experiment, Experiment):
+        experiment = experiment_by_name(experiment)
+    renderer = experiment.render
+    if isinstance(renderer, TableSpec):
+        from repro.sim.stats import format_table
+        return format_table(list(renderer.columns),
+                            [list(row) for row in
+                             renderer.rows(result)],
+                            title=renderer.title)
+    return renderer(result)
+
+
+def evaluate_checks(experiment: Union[str, Experiment],
+                    result: Any) -> List[Deviation]:
+    """Compare a Result against the declared paper references."""
+    if not isinstance(experiment, Experiment):
+        experiment = experiment_by_name(experiment)
+    deviations = []
+    for check in experiment.checks:
+        measured = float(check.measured(result))
+        allowed = max(check.abs_tol, check.rel_tol * abs(check.paper))
+        deviations.append(Deviation(
+            label=check.label, measured=measured, paper=check.paper,
+            within=abs(measured - check.paper) <= allowed))
+    return deviations

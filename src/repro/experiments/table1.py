@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments import framework
+from repro.experiments.framework import Check, Context
 from repro.params import DramTimings, ns
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table
 
 PAPER_ROWS = {
@@ -16,8 +19,7 @@ PAPER_ROWS = {
 """Parameter -> (DDR5 ns, PRAC ns)."""
 
 
-def run() -> Dict[str, Dict[str, int]]:
-    """Return the modelled timing values in nanoseconds."""
+def _reduce(cells: framework.Cells) -> Dict[str, Dict[str, int]]:
     base = DramTimings()
     prac = base.with_prac()
     out = {}
@@ -32,9 +34,7 @@ def run() -> Dict[str, Dict[str, int]]:
     return out
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    values = run()
+def _render(values: Dict[str, Dict[str, int]]) -> str:
     rows = []
     for name, cells in values.items():
         paper = PAPER_ROWS.get(name)
@@ -45,10 +45,39 @@ def main() -> str:
             paper[0] if paper else cells["ddr5_ns"],
             paper[1] if paper else "-",
         ])
-    table = format_table(
+    return format_table(
         ["Param", "model DDR5", "model PRAC", "paper DDR5",
          "paper PRAC"],
         rows, title="Table I: DRAM timings (ns)")
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table1",
+    title="Table I",
+    description="DRAM timings",
+    paper=PAPER_ROWS,
+    grid=lambda ctx: (),
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("PRAC tRC ns", PAPER_ROWS["tRC"][1],
+              lambda r: r["tRC"]["prac_ns"], rel_tol=0.0),
+        Check("DDR5 tRC ns", PAPER_ROWS["tRC"][0],
+              lambda r: r["tRC"]["ddr5_ns"], rel_tol=0.0),
+    ),
+))
+
+
+def run(session: Optional[SimSession] = None
+        ) -> Dict[str, Dict[str, int]]:
+    """Return the modelled timing values in nanoseconds."""
+    return framework.run_experiment(EXPERIMENT, Context.make(),
+                                    session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

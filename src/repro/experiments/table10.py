@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import MirzaConfig
+from repro.experiments import framework
+from repro.experiments.framework import Check, Context
 from repro.security.area import AreaModel
 from repro.security.mirza_model import solve_fth
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table
 
 PAPER = {
@@ -15,6 +18,8 @@ PAPER = {
     500: {"mirza_bits": 20, "prac_bits": 9 * 1024, "ratio": 22.5},
     250: {"mirza_bits": 36, "prac_bits": 8 * 1024, "ratio": 11.2},
 }
+
+_THRESHOLDS = (1000, 500, 250)
 
 
 @dataclass
@@ -36,11 +41,10 @@ def _config_for(trhd: int) -> MirzaConfig:
                        num_regions=512)
 
 
-def run(thresholds=(1000, 500, 250)) -> List[Table10Row]:
-    """Execute the experiment; returns the structured results."""
+def _reduce(cells: framework.Cells) -> List[Table10Row]:
     model = AreaModel()
     rows = []
-    for trhd in thresholds:
+    for trhd in cells.ctx.opt("thresholds", _THRESHOLDS):
         config = _config_for(trhd)
         rows.append(Table10Row(
             trhd=trhd,
@@ -53,10 +57,9 @@ def run(thresholds=(1000, 500, 250)) -> List[Table10Row]:
     return rows
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
+def _render(rows: List[Table10Row]) -> str:
     table_rows = []
-    for row in run():
+    for row in rows:
         paper = PAPER[row.trhd]
         table_rows.append([
             row.trhd,
@@ -66,10 +69,48 @@ def main() -> str:
             f"(paper {paper['prac_bits'] // 1024}Kb)",
             f"{row.area_ratio:.1f}x (paper {paper['ratio']}x)",
         ])
-    table = format_table(
+    return format_table(
         ["TRHD", "MIRZA per subarray", "PRAC per subarray",
          "PRAC/MIRZA area"],
         table_rows, title="Table X: relative area per subarray")
+
+
+def _ratio_of(trhd: int):
+    def measured(rows: List[Table10Row]) -> float:
+        for row in rows:
+            if row.trhd == trhd:
+                return row.area_ratio
+        return float("nan")
+    return measured
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table10",
+    title="Table X",
+    description="Relative area per subarray",
+    paper=PAPER,
+    grid=lambda ctx: (),
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("PRAC/MIRZA area ratio at TRHD=1000",
+              PAPER[1000]["ratio"], _ratio_of(1000), rel_tol=0.5),
+        Check("PRAC/MIRZA area ratio at TRHD=500",
+              PAPER[500]["ratio"], _ratio_of(500), rel_tol=0.5),
+    ),
+))
+
+
+def run(thresholds=_THRESHOLDS,
+        session: Optional[SimSession] = None) -> List[Table10Row]:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(thresholds=tuple(thresholds))
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

@@ -17,12 +17,17 @@ The paper reports relative throughput 63.4% / 55.9% / 44.5% (slowdown
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from repro.experiments import framework
+from repro.experiments.framework import Check, Context
 from repro.params import AboTimings, DramTimings
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table
 
 PAPER = {16: (63.4, 1.6), 12: (55.9, 1.8), 8: (44.5, 2.25)}
+
+_WINDOWS = (16, 12, 8)
 
 
 @dataclass
@@ -48,25 +53,61 @@ def attack_relative_throughput(mint_window: int,
     return 100.0 * usable / cycle
 
 
-def run(windows: Sequence[int] = (16, 12, 8)) -> List[Table11Row]:
-    """Execute the experiment; returns the structured results."""
+def _reduce(cells: framework.Cells) -> List[Table11Row]:
     return [Table11Row(w, attack_relative_throughput(w))
-            for w in windows]
+            for w in cells.ctx.opt("windows", _WINDOWS)]
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    rows = []
-    for row in run():
+def _render(rows: List[Table11Row]) -> str:
+    table_rows = []
+    for row in rows:
         paper_tp, paper_sd = PAPER[row.mint_window]
-        rows.append([
+        table_rows.append([
             row.mint_window,
             f"{row.relative_throughput_pct:.1f}% (paper {paper_tp}%)",
             f"{row.slowdown_factor:.2f}x (paper {paper_sd}x)",
         ])
-    table = format_table(
+    return format_table(
         ["MINT-W", "ACT throughput", "Slowdown"],
-        rows, title="Table XI: performance attack on MIRZA")
+        table_rows, title="Table XI: performance attack on MIRZA")
+
+
+def _throughput_of(window: int):
+    def measured(rows: List[Table11Row]) -> float:
+        for row in rows:
+            if row.mint_window == window:
+                return row.relative_throughput_pct
+        return float("nan")
+    return measured
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table11",
+    title="Table XI",
+    description="Performance attack",
+    paper=PAPER,
+    grid=lambda ctx: (),
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("W=12 relative throughput %", PAPER[12][0],
+              _throughput_of(12), rel_tol=0.25),
+        Check("W=8 relative throughput %", PAPER[8][0],
+              _throughput_of(8), rel_tol=0.25),
+    ),
+))
+
+
+def run(windows: Sequence[int] = _WINDOWS,
+        session: Optional[SimSession] = None) -> List[Table11Row]:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(windows=tuple(windows))
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

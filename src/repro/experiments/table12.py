@@ -8,14 +8,17 @@ mitigations; MIRZA performs no victim refresh under REF at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from repro.experiments import framework
+from repro.experiments.framework import Check, Context
 from repro.security.area import (
     mint_storage_bytes_per_bank,
     mirza_storage_bytes_per_bank,
     trr_storage_bytes_per_bank,
 )
 from repro.security.analysis import refresh_cannibalization
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table
 
 PAPER = {
@@ -33,8 +36,7 @@ class Table12Row:
     cannibalization_pct: float
 
 
-def run() -> List[Table12Row]:
-    """Execute the experiment; returns the structured results."""
+def _reduce(cells: framework.Cells) -> List[Table12Row]:
     # TRR: 28 entries, one mitigation per 4 REF.
     trr = Table12Row(
         tracker="TRR",
@@ -60,22 +62,58 @@ def run() -> List[Table12Row]:
     return [trr, mint, mirza]
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    rows = []
-    for row in run():
+def _render(rows: List[Table12Row]) -> str:
+    table_rows = []
+    for row in rows:
         paper = PAPER[row.tracker]
-        rows.append([
+        table_rows.append([
             row.tracker,
             f"{row.storage_bytes:.0f}B (paper {paper['storage']}B)",
             "yes" if row.secure else "NO",
             f"{row.cannibalization_pct:.0f}% "
             f"(paper {paper['cannibalization']:.0f}%)",
         ])
-    table = format_table(
+    return format_table(
         ["Tracker", "Storage/bank", "Secure?",
          "Refresh cannibalization"],
-        rows, title="Table XII: overheads at TRHD=4.8K")
+        table_rows, title="Table XII: overheads at TRHD=4.8K")
+
+
+def _storage_of(tracker: str):
+    def measured(rows: List[Table12Row]) -> float:
+        for row in rows:
+            if row.tracker == tracker:
+                return row.storage_bytes
+        return float("nan")
+    return measured
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table12",
+    title="Table XII",
+    description="Overheads at TRHD=4.8K",
+    paper=PAPER,
+    grid=lambda ctx: (),
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("MIRZA storage bytes/bank", PAPER["MIRZA"]["storage"],
+              _storage_of("MIRZA"), rel_tol=0.25),
+        Check("MINT storage bytes/bank", PAPER["MINT"]["storage"],
+              _storage_of("MINT"), rel_tol=0.5),
+    ),
+))
+
+
+def run(session: Optional[SimSession] = None) -> List[Table12Row]:
+    """Execute the experiment; returns the structured results."""
+    return framework.run_experiment(EXPERIMENT, Context.make(),
+                                    session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

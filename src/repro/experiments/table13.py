@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import MirzaConfig
-from repro.experiments import fig3, fig11
+from repro.experiments import framework
+from repro.experiments.framework import Check, Context
 from repro.experiments.table11 import attack_relative_throughput
 from repro.params import SimScale
 from repro.sim.session import SimSession
@@ -38,12 +39,9 @@ class Table13Row:
     average_slowdown_pct: float
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        session: Optional[SimSession] = None) -> List[Table13Row]:
-    """Execute the experiment; returns the structured results."""
-    benign_rfm = fig3.run(workloads, scale, session=session)
-    benign_mirza = fig11.run(workloads, scale, session=session)
+def _reduce(cells: framework.Cells) -> List[Table13Row]:
+    benign_rfm = cells.dep("fig3")
+    benign_mirza = cells.dep("fig11")
     rows = []
     for trhd in (500, 1000, 2000):
         window = MirzaConfig.paper_config(trhd).mint_window
@@ -61,21 +59,62 @@ def run(workloads: Optional[List[str]] = None,
     return rows
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
+def _render(rows: List[Table13Row]) -> str:
     table_rows = []
-    for row in run():
+    for row in rows:
         paper_attack, paper_avg = PAPER[(row.trhd, row.tracker)]
         table_rows.append([
             row.trhd, row.tracker,
             f"{row.attack_slowdown_x:.2f}x (paper {paper_attack}x)",
             f"{row.average_slowdown_pct:.2f}% (paper {paper_avg}%)",
         ])
-    table = format_table(
+    return format_table(
         ["TRHD", "Tracker", "Perf-attack slowdown",
          "Average slowdown"],
         table_rows,
         title="Table XIII: average vs worst-case slowdown")
+
+
+def _attack_of(trhd: int, tracker: str):
+    def measured(rows: List[Table13Row]) -> float:
+        for row in rows:
+            if row.trhd == trhd and row.tracker == tracker:
+                return row.attack_slowdown_x
+        return float("nan")
+    return measured
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table13",
+    title="Table XIII",
+    description="Average vs worst-case slowdown",
+    paper=PAPER,
+    grid=lambda ctx: (),
+    reduce=_reduce,
+    render=_render,
+    needs=("fig3", "fig11"),
+    checks=(
+        Check("MIRZA-1000 perf-attack slowdown x",
+              PAPER[(1000, "MIRZA")][0],
+              _attack_of(1000, "MIRZA"), rel_tol=0.5),
+        Check("MIRZA-500 perf-attack slowdown x",
+              PAPER[(500, "MIRZA")][0],
+              _attack_of(500, "MIRZA"), rel_tol=0.5),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        session: Optional[SimSession] = None) -> List[Table13Row]:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, scale=scale)
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

@@ -12,8 +12,10 @@ row is reported analytically alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from repro.experiments import framework
+from repro.experiments.framework import Cell, Check, Context
 from repro.mitigations.mithril import MithrilTracker
 from repro.security.analysis import (
     acts_per_ref_interval,
@@ -22,6 +24,7 @@ from repro.security.analysis import (
     refresh_cannibalization,
 )
 from repro.security.attacks import SingleBankHarness
+from repro.sim.session import SimSession, register_job_type
 from repro.sim.stats import format_table
 from repro.workloads.attacks import feinting_attack_stream
 
@@ -31,6 +34,8 @@ PAPER = {
     4: {"cannibalization": 17.0, "mint": 5800, "mithril": 2900},
     8: {"cannibalization": 8.5, "mint": 11600, "mithril": 5400},
 }
+
+_RATES = (1, 2, 4, 8)
 
 
 @dataclass
@@ -53,25 +58,45 @@ def measure_mithril_feinting(entries: int, refs_per_mitigation: int,
     return harness.max_unmitigated
 
 
-def run(mithril_entries: int = 128,
-        feinting_acts: int = 150_000) -> List[Table2Row]:
-    """Execute the experiment; returns the structured results."""
+@dataclass(frozen=True)
+class FeintingJob:
+    """One :func:`measure_mithril_feinting` run as a session job."""
+
+    entries: int
+    refs_per_mitigation: int
+    acts: int = 150_000
+
+    def execute(self) -> int:
+        """Drive the feinting attack (uncached worker-process path)."""
+        return measure_mithril_feinting(self.entries,
+                                        self.refs_per_mitigation,
+                                        self.acts)
+
+
+register_job_type(FeintingJob, lambda value: value, lambda value: value)
+
+
+def _grid(ctx: Context) -> List[Cell]:
+    entries = ctx.opt("mithril_entries", 128)
+    acts = ctx.opt("feinting_acts", 150_000)
+    return [Cell(rate, FeintingJob(entries, rate, acts))
+            for rate in _RATES]
+
+
+def _reduce(cells: framework.Cells) -> List[Table2Row]:
     rows = []
-    for rate in (1, 2, 4, 8):
+    for rate in _RATES:
         rows.append(Table2Row(
             refs_per_mitigation=rate,
             cannibalization_pct=100 * refresh_cannibalization(rate),
             mint_trhd=mint_trh_for_mitigation_rate(rate),
-            mithril_measured=measure_mithril_feinting(
-                mithril_entries, rate, feinting_acts),
+            mithril_measured=cells[rate],
             mithril_bound=mithril_trh_bound(2048, rate),
         ))
     return rows
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    rows = run()
+def _render(rows: List[Table2Row]) -> str:
     table_rows = []
     for r in rows:
         paper = PAPER[r.refs_per_mitigation]
@@ -82,11 +107,52 @@ def main() -> str:
             r.mint_trhd, paper["mint"],
             r.mithril_measured, paper["mithril"],
         ])
-    table = format_table(
+    return format_table(
         ["Mitigation rate", "cannibal.", "paper", "MINT TRHD",
          "paper", "Mithril TRHD (128-entry, measured)", "paper (2K)"],
         table_rows,
         title="Table II: tolerated TRHD vs mitigation rate")
+
+
+def _row_of(rate: int, attr: str):
+    def measured(rows: List[Table2Row]) -> float:
+        for row in rows:
+            if row.refs_per_mitigation == rate:
+                return getattr(row, attr)
+        return float("nan")
+    return measured
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table2",
+    title="Table II",
+    description="Tolerated TRHD vs mitigation rate",
+    paper=PAPER,
+    grid=_grid,
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("1/4 REF cannibalization %",
+              PAPER[4]["cannibalization"],
+              _row_of(4, "cannibalization_pct"), rel_tol=0.25),
+        Check("1/4 REF MINT TRHD", PAPER[4]["mint"],
+              _row_of(4, "mint_trhd"), rel_tol=0.25),
+    ),
+))
+
+
+def run(mithril_entries: int = 128,
+        feinting_acts: int = 150_000,
+        session: Optional[SimSession] = None) -> List[Table2Row]:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(mithril_entries=mithril_entries,
+                       feinting_acts=feinting_acts)
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

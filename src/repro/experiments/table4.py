@@ -12,19 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.experiments.common import (
-    SubarrayStatsJob,
-    default_scale,
-    default_seed,
-    selected_workloads,
-)
+from repro.experiments import framework
+from repro.experiments.common import SubarrayStatsJob
+from repro.experiments.framework import Cell, Context
 from repro.params import SimScale
 from repro.sim.runner import baseline_setup
-from repro.sim.session import (
-    SimJob,
-    SimSession,
-    get_default_session,
-)
+from repro.sim.session import SimJob, SimSession
 from repro.sim.stats import format_table
 
 
@@ -38,22 +31,24 @@ class WorkloadMeasurement:
     acts_per_subarray_std: float
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        session: Optional[SimSession] = None
-        ) -> Dict[str, WorkloadMeasurement]:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or default_scale()
-    session = session or get_default_session()
-    specs = selected_workloads(workloads)
-    seed = default_seed()
-    baselines = session.run_many(
-        [SimJob(spec, baseline_setup(), scale, seed)
-         for spec in specs])
-    stats = session.run_many(
-        [SubarrayStatsJob(spec, scale, seed=seed) for spec in specs])
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.timed_scale()
+    seed = ctx.run_seed()
+    cells = []
+    for spec in ctx.specs():
+        cells.append(Cell(("base", spec.name),
+                          SimJob(spec, baseline_setup(), scale, seed)))
+        cells.append(Cell(("sa", spec.name),
+                          SubarrayStatsJob(spec, scale, seed=seed)))
+    return cells
+
+
+def _reduce(cells: framework.Cells) -> Dict[str, WorkloadMeasurement]:
+    scale = cells.ctx.timed_scale()
     out = {}
-    for spec, result, (mean, std) in zip(specs, baselines, stats):
+    for spec in cells.ctx.specs():
+        result = cells[("base", spec.name)]
+        mean, std = cells[("sa", spec.name)]
         instructions = sum(result.instructions)
         kilo = instructions / 1000.0 if instructions else 1.0
         # Scale per-subarray stats back up to the full 32 ms window for
@@ -70,12 +65,10 @@ def run(workloads: Optional[List[str]] = None,
     return out
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    measurements = run()
+def _render(measurements: Dict[str, WorkloadMeasurement]) -> str:
+    from repro.workloads.specs import workload_by_name
     rows = []
     for name, m in measurements.items():
-        from repro.workloads.specs import workload_by_name
         spec = workload_by_name(name)
         rows.append([
             name,
@@ -87,10 +80,34 @@ def main() -> str:
             f"{m.acts_per_subarray_std:.0f}/"
             f"{spec.acts_per_subarray_std}",
         ])
-    table = format_table(
+    return format_table(
         ["Workload", "MPKI (meas/paper)", "ACT-PKI", "Bus util %",
          "ACT/subarray mean", "ACT/subarray std"],
         rows, title="Table IV: workload characteristics")
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table4",
+    title="Table IV",
+    description="Workload characteristics",
+    grid=_grid,
+    reduce=_reduce,
+    render=_render,
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        session: Optional[SimSession] = None
+        ) -> Dict[str, WorkloadMeasurement]:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, scale=scale)
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

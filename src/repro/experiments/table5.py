@@ -12,14 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import (
-    default_scale,
-    selected_workloads,
-    sweep_slowdowns,
-)
+from repro.experiments import framework
+from repro.experiments.framework import Cell, Check, Context
 from repro.params import SimScale
 from repro.sim.runner import naive_mirza_setup
-from repro.sim.session import SimSession
+from repro.sim.session import SimJob, SimSession
 from repro.sim.stats import format_table, mean
 
 PAPER = {
@@ -28,6 +25,9 @@ PAPER = {
     (96, 1): 64.07, (96, 2): 3.52, (96, 4): 3.08, (96, 8): 3.01,
 }
 
+_WINDOWS = (24, 48, 96)
+_QUEUE_SIZES = (1, 2, 4, 8)
+
 
 @dataclass
 class Table5Result:
@@ -35,29 +35,34 @@ class Table5Result:
     """(MINT-W, queue entries) -> average slowdown %"""
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        windows: Sequence[int] = (24, 48, 96),
-        queue_sizes: Sequence[int] = (1, 2, 4, 8),
-        session: Optional[SimSession] = None) -> Table5Result:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or default_scale()
-    specs = selected_workloads(workloads)
+def _points(ctx: Context) -> List[Tuple[int, int]]:
+    return [(window, entries)
+            for window in ctx.opt("windows", _WINDOWS)
+            for entries in ctx.opt("queue_sizes", _QUEUE_SIZES)]
+
+
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.timed_scale()
+    seed = ctx.run_seed()
+    return [Cell(((window, entries), spec.name),
+                 SimJob(spec,
+                        naive_mirza_setup(window, queue_entries=entries),
+                        scale, seed),
+                 slowdown=True)
+            for window, entries in _points(ctx)
+            for spec in ctx.specs()]
+
+
+def _reduce(cells: framework.Cells) -> Table5Result:
     result = Table5Result()
-    grid = [(window, entries) for window in windows
-            for entries in queue_sizes]
-    pairs = [(spec, naive_mirza_setup(window, queue_entries=entries))
-             for window, entries in grid for spec in specs]
-    outcomes = iter(sweep_slowdowns(pairs, scale, session=session))
-    for window, entries in grid:
-        slowdowns = [next(outcomes)[0] for _ in specs]
-        result.slowdown[(window, entries)] = mean(slowdowns)
+    for point in _points(cells.ctx):
+        result.slowdown[point] = mean(
+            cells[(point, spec.name)][0]
+            for spec in cells.ctx.specs())
     return result
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    result = run()
+def _render(result: Table5Result) -> str:
     windows = sorted({w for w, _ in result.slowdown})
     queues = sorted({q for _, q in result.slowdown})
     rows = []
@@ -68,9 +73,45 @@ def main() -> str:
             paper = PAPER.get((window, q), "-")
             row.append(f"{measured:.2f}% ({paper}%)")
         rows.append(row)
-    table = format_table(
+    return format_table(
         ["Window"] + [f"Q={q} (paper)" for q in queues], rows,
         title="Table V: Naive MIRZA slowdown vs MIRZA-Q size")
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table5",
+    title="Table V",
+    description="Naive MIRZA slowdown vs queue size",
+    paper=PAPER,
+    grid=_grid,
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("MINT-W 48, Q=1 slowdown %", PAPER[(48, 1)],
+              lambda r: r.slowdown.get((48, 1), float("nan")),
+              rel_tol=0.9),
+        Check("MINT-W 48, Q=4 slowdown %", PAPER[(48, 4)],
+              lambda r: r.slowdown.get((48, 4), float("nan")),
+              rel_tol=1.0, abs_tol=3.0),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        windows: Sequence[int] = _WINDOWS,
+        queue_sizes: Sequence[int] = _QUEUE_SIZES,
+        session: Optional[SimSession] = None) -> Table5Result:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, scale=scale,
+                       windows=tuple(windows),
+                       queue_sizes=tuple(queue_sizes))
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

@@ -12,12 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.common import (
-    CgfJob,
-    cgf_scale,
-    measure_cgf_many,
-    selected_workloads,
-)
+from repro.experiments import framework
+from repro.experiments.common import CgfJob
+from repro.experiments.framework import Cell, Check, Context
 from repro.params import SimScale
 from repro.sim.session import SimSession
 from repro.sim.stats import format_table
@@ -30,6 +27,9 @@ PAPER = {
 }
 """(FTH, mapping) -> % of ACTs filtered."""
 
+_FTHS = (1400, 1500, 1600, 1700)
+_NUM_REGIONS = 128
+
 
 @dataclass
 class Table6Result:
@@ -38,37 +38,37 @@ class Table6Result:
     """(full-scale FTH, mapping) -> average % of ACTs filtered."""
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        fths: Sequence[int] = (1400, 1500, 1600, 1700),
-        num_regions: int = 128,
-        session: Optional[SimSession] = None) -> Table6Result:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or cgf_scale()
-    specs = selected_workloads(workloads)
-    result = Table6Result()
-    grid = [(fth, mapping) for fth in fths
+def _points(ctx: Context) -> List[Tuple[int, str]]:
+    return [(fth, mapping) for fth in ctx.opt("fths", _FTHS)
             for mapping in ("sequential", "strided")]
-    jobs = [CgfJob(spec, mapping, scale.scale_threshold(fth),
-                   num_regions, scale)
-            for fth, mapping in grid for spec in specs]
-    outcomes = iter(measure_cgf_many(jobs, session))
-    for fth, mapping in grid:
+
+
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.counting_scale()
+    num_regions = ctx.opt("num_regions", _NUM_REGIONS)
+    return [Cell(((fth, mapping), spec.name),
+                 CgfJob(spec, mapping, scale.scale_threshold(fth),
+                        num_regions, scale))
+            for fth, mapping in _points(ctx)
+            for spec in ctx.specs()]
+
+
+def _reduce(cells: framework.Cells) -> Table6Result:
+    result = Table6Result()
+    for point in _points(cells.ctx):
         filtered = total = 0
-        for _ in specs:
-            stats = next(outcomes)
+        for spec in cells.ctx.specs():
+            stats = cells[(point, spec.name)]
             filtered += stats.filtered
             total += stats.total_acts
         # ACT-weighted aggregate: the paper's percentages are over
         # the pooled activation stream, so heavy workloads dominate.
-        result.filtered_pct[(fth, mapping)] = \
+        result.filtered_pct[point] = \
             100.0 * filtered / total if total else 0.0
     return result
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
-    result = run()
+def _render(result: Table6Result) -> str:
     fths = sorted({f for f, _ in result.filtered_pct})
     rows = []
     for fth in fths:
@@ -81,10 +81,49 @@ def main() -> str:
             f"{str_:.2f}% ({PAPER[(fth, 'strided')]}%)",
             f"{100 - str_:.2f}%",
         ])
-    table = format_table(
+    return format_table(
         ["FTH", "Sequential filtered (paper)", "Seq remaining",
          "Strided filtered (paper)", "Strided remaining"],
         rows, title="Table VI: CGF effectiveness by R2SA mapping")
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table6",
+    title="Table VI",
+    description="CGF effectiveness by mapping",
+    paper=PAPER,
+    grid=_grid,
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("FTH 1500 strided filtered %",
+              PAPER[(1500, "strided")],
+              lambda r: r.filtered_pct.get((1500, "strided"),
+                                           float("nan")),
+              rel_tol=0.15),
+        Check("FTH 1500 sequential filtered %",
+              PAPER[(1500, "sequential")],
+              lambda r: r.filtered_pct.get((1500, "sequential"),
+                                           float("nan")),
+              rel_tol=1.0, abs_tol=15.0),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        fths: Sequence[int] = _FTHS,
+        num_regions: int = _NUM_REGIONS,
+        session: Optional[SimSession] = None) -> Table6Result:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, cgf=scale,
+                       fths=tuple(fths), num_regions=num_regions)
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

@@ -8,9 +8,12 @@ published FTH and reproduces the SRAM/bank column exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.config import MirzaConfig
+from repro.experiments import framework
+from repro.experiments.framework import Check, Context
+from repro.sim.session import SimSession
 from repro.sim.stats import format_table
 
 PAPER = {
@@ -27,8 +30,7 @@ class Table7Row:
     solved: MirzaConfig
 
 
-def run() -> List[Table7Row]:
-    """Execute the experiment; returns the structured results."""
+def _reduce(cells: framework.Cells) -> List[Table7Row]:
     rows = []
     for trhd in (2000, 1000, 500):
         preset = MirzaConfig.paper_config(trhd)
@@ -38,10 +40,9 @@ def run() -> List[Table7Row]:
     return rows
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
+def _render(rows: List[Table7Row]) -> str:
     table_rows = []
-    for row in run():
+    for row in rows:
         paper = PAPER[row.trhd]
         table_rows.append([
             row.trhd,
@@ -53,10 +54,47 @@ def main() -> str:
             f"(paper {paper['sram']})",
             "yes" if row.solved.is_safe() else "NO",
         ])
-    table = format_table(
+    return format_table(
         ["TRHD", "FTH", "MINT-W", "Regions/bank", "SRAM/bank (B)",
          "model-safe"],
         table_rows, title="Table VII: MIRZA configurations")
+
+
+def _solved_fth_of(trhd: int):
+    def measured(rows: List[Table7Row]) -> float:
+        for row in rows:
+            if row.trhd == trhd:
+                return row.solved.fth
+        return float("nan")
+    return measured
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table7",
+    title="Table VII",
+    description="MIRZA configurations",
+    paper=PAPER,
+    grid=lambda ctx: (),
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("solved FTH at TRHD=1000", PAPER[1000]["fth"],
+              _solved_fth_of(1000), rel_tol=0.01),
+        Check("solved FTH at TRHD=500", PAPER[500]["fth"],
+              _solved_fth_of(500), rel_tol=0.01),
+    ),
+))
+
+
+def run(session: Optional[SimSession] = None) -> List[Table7Row]:
+    """Execute the experiment; returns the structured results."""
+    return framework.run_experiment(EXPERIMENT, Context.make(),
+                                    session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

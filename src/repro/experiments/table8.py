@@ -12,12 +12,9 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.config import MirzaConfig
-from repro.experiments.common import (
-    CgfJob,
-    cgf_scale,
-    measure_cgf_many,
-    selected_workloads,
-)
+from repro.experiments import framework
+from repro.experiments.common import CgfJob
+from repro.experiments.framework import Cell, Check, Context
 from repro.params import SimScale
 from repro.sim.runner import MINT_RFM_WINDOWS
 from repro.sim.session import SimSession
@@ -31,6 +28,8 @@ PAPER = {
     500: {"mint": 1 / 24, "escape": 1 / 30, "mirza": 1 / 240,
           "ratio": 10},
 }
+
+_THRESHOLDS = (2000, 1000, 500)
 
 
 @dataclass
@@ -47,41 +46,43 @@ class Table8Row:
             else float("inf")
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        thresholds=(2000, 1000, 500),
-        session: Optional[SimSession] = None) -> List[Table8Row]:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or cgf_scale()
-    specs = selected_workloads(workloads)
-    configs = [MirzaConfig.paper_config(trhd) for trhd in thresholds]
-    jobs = [CgfJob(spec, "strided", scale.scale_threshold(config.fth),
-                   config.num_regions, scale)
-            for config in configs for spec in specs]
-    outcomes = iter(measure_cgf_many(jobs, session))
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.counting_scale()
+    cells = []
+    for trhd in ctx.opt("thresholds", _THRESHOLDS):
+        config = MirzaConfig.paper_config(trhd)
+        cells.extend(
+            Cell((trhd, spec.name),
+                 CgfJob(spec, "strided",
+                        scale.scale_threshold(config.fth),
+                        config.num_regions, scale))
+            for spec in ctx.specs())
+    return cells
+
+
+def _reduce(cells: framework.Cells) -> List[Table8Row]:
     rows = []
-    for trhd, config in zip(thresholds, configs):
+    for trhd in cells.ctx.opt("thresholds", _THRESHOLDS):
+        config = MirzaConfig.paper_config(trhd)
         escaped = total = 0
-        for _ in specs:
-            stats = next(outcomes)
+        for spec in cells.ctx.specs():
+            stats = cells[(trhd, spec.name)]
             escaped += stats.escaped
             total += stats.total_acts
         # ACT-weighted pooled escape probability, as in the paper.
         escape = escaped / total if total else 0.0
-        mirza_rate = escape / config.mint_window
         rows.append(Table8Row(
             trhd=trhd,
             mint_rate=1.0 / MINT_RFM_WINDOWS[trhd],
             escape_probability=escape,
-            mirza_rate=mirza_rate,
+            mirza_rate=escape / config.mint_window,
         ))
     return rows
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
+def _render(rows: List[Table8Row]) -> str:
     table_rows = []
-    for row in run():
+    for row in rows:
         paper = PAPER[row.trhd]
         esc = (f"1/{1 / row.escape_probability:.0f}"
                if row.escape_probability else "0")
@@ -93,10 +94,51 @@ def main() -> str:
             f"{rate} (paper 1/{1 / paper['mirza']:.0f})",
             f"{row.reduction:.0f}x (paper {paper['ratio']}x)",
         ])
-    table = format_table(
+    return format_table(
         ["TRHD", "MINT rate", "escape prob", "MIRZA rate",
          "reduction"],
         table_rows, title="Table VIII: mitigation overhead")
+
+
+def _reduction_of(trhd: int):
+    def measured(rows: List[Table8Row]) -> float:
+        for row in rows:
+            if row.trhd == trhd:
+                return row.reduction
+        return float("nan")
+    return measured
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table8",
+    title="Table VIII",
+    description="Mitigation overhead of MINT vs MIRZA",
+    paper=PAPER,
+    grid=_grid,
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("TRHD 1000 mitigation reduction x",
+              PAPER[1000]["ratio"], _reduction_of(1000), rel_tol=0.9),
+        Check("TRHD 500 mitigation reduction x",
+              PAPER[500]["ratio"], _reduction_of(500), rel_tol=0.9),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        thresholds=_THRESHOLDS,
+        session: Optional[SimSession] = None) -> List[Table8Row]:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, cgf=scale,
+                       thresholds=tuple(thresholds))
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

@@ -13,16 +13,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import MirzaConfig
-from repro.experiments.common import (
-    CgfJob,
-    default_scale,
-    measure_cgf_many,
-    selected_workloads,
-    sweep_slowdowns,
-)
+from repro.experiments import framework
+from repro.experiments.common import CgfJob
+from repro.experiments.framework import Cell, Check, Context
 from repro.params import SimScale
 from repro.sim.runner import mirza_setup
-from repro.sim.session import SimSession
+from repro.sim.session import SimJob, SimSession
 from repro.sim.stats import format_table, mean
 
 PAPER_POINTS = [(4, 1820), (8, 1660), (12, 1500), (16, 1350)]
@@ -39,40 +35,55 @@ class Table9Row:
     sram_bytes: float
 
 
-def run(workloads: Optional[List[str]] = None,
-        scale: Optional[SimScale] = None,
-        points: Sequence[Tuple[int, int]] = tuple(PAPER_POINTS),
-        session: Optional[SimSession] = None) -> List[Table9Row]:
-    """Execute the experiment; returns the structured results."""
-    scale = scale or default_scale()
-    specs = selected_workloads(workloads)
-    configs = [MirzaConfig(trhd=1000, fth=fth, mint_window=window,
-                           num_regions=128)
-               for window, fth in points]
-    pairs = [(spec, mirza_setup(1000, scale, config=config))
-             for config in configs for spec in specs]
-    outcomes = iter(sweep_slowdowns(pairs, scale, session=session))
-    cgf_jobs = [CgfJob(spec, "strided", scale.scale_threshold(fth),
-                       128, scale)
-                for window, fth in points for spec in specs]
-    cgf_stats = iter(measure_cgf_many(cgf_jobs, session))
+def _points(ctx: Context) -> List[Tuple[int, int]]:
+    return list(ctx.opt("points", tuple(PAPER_POINTS)))
+
+
+def _config(window: int, fth: int) -> MirzaConfig:
+    return MirzaConfig(trhd=1000, fth=fth, mint_window=window,
+                       num_regions=128)
+
+
+def _grid(ctx: Context) -> List[Cell]:
+    scale = ctx.timed_scale()
+    seed = ctx.run_seed()
+    cells = []
+    for window, fth in _points(ctx):
+        config = _config(window, fth)
+        for spec in ctx.specs():
+            cells.append(Cell(
+                ("sd", (window, fth), spec.name),
+                SimJob(spec, mirza_setup(1000, scale, config=config),
+                       scale, seed),
+                slowdown=True))
+            cells.append(Cell(
+                ("cgf", (window, fth), spec.name),
+                CgfJob(spec, "strided", scale.scale_threshold(fth),
+                       128, scale)))
+    return cells
+
+
+def _reduce(cells: framework.Cells) -> List[Table9Row]:
     rows = []
-    for (window, fth), config in zip(points, configs):
-        slowdowns = [next(outcomes)[0] for _ in specs]
-        remaining = [next(cgf_stats).remaining_pct for _ in specs]
+    for window, fth in _points(cells.ctx):
+        specs = cells.ctx.specs()
+        slowdowns = [cells[("sd", (window, fth), spec.name)][0]
+                     for spec in specs]
+        remaining = [cells[("cgf", (window, fth),
+                            spec.name)].remaining_pct
+                     for spec in specs]
         rows.append(Table9Row(
             mint_window=window, fth=fth,
             slowdown_pct=mean(slowdowns),
             remaining_acts_pct=mean(remaining),
-            sram_bytes=config.storage_bytes_per_bank,
+            sram_bytes=_config(window, fth).storage_bytes_per_bank,
         ))
     return rows
 
 
-def main() -> str:
-    """Print the paper-style table; returns the rendered text."""
+def _render(rows: List[Table9Row]) -> str:
     table_rows = []
-    for row in run():
+    for row in rows:
         table_rows.append([
             row.mint_window,
             row.fth,
@@ -82,10 +93,65 @@ def main() -> str:
             f"{row.remaining_acts_pct:.2f}% "
             f"(paper {PAPER_REMAINING[row.mint_window]}%)",
         ])
-    table = format_table(
+    return format_table(
         ["MINT-W", "FTH", "SRAM/bank", "Slowdown", "Remaining ACTs"],
         table_rows,
         title="Table IX: FTH vs MINT-W sensitivity at TRHD=1K")
+
+
+def _row_for(rows: List[Table9Row], window: int) -> Optional[Table9Row]:
+    for row in rows:
+        if row.mint_window == window:
+            return row
+    return None
+
+
+def _slowdown_of(window: int):
+    def measured(rows: List[Table9Row]) -> float:
+        row = _row_for(rows, window)
+        return row.slowdown_pct if row else float("nan")
+    return measured
+
+
+def _remaining_of(window: int):
+    def measured(rows: List[Table9Row]) -> float:
+        row = _row_for(rows, window)
+        return row.remaining_acts_pct if row else float("nan")
+    return measured
+
+
+EXPERIMENT = framework.register_experiment(framework.Experiment(
+    name="table9",
+    title="Table IX",
+    description="FTH vs MINT-W sensitivity",
+    paper={"slowdown": PAPER_SLOWDOWN, "remaining": PAPER_REMAINING},
+    grid=_grid,
+    reduce=_reduce,
+    render=_render,
+    checks=(
+        Check("W=12 slowdown %", PAPER_SLOWDOWN[12],
+              _slowdown_of(12), rel_tol=1.0, abs_tol=2.0),
+        Check("W=12 remaining ACTs %", PAPER_REMAINING[12],
+              _remaining_of(12), rel_tol=1.0, abs_tol=2.0),
+        Check("W=16 remaining ACTs %", PAPER_REMAINING[16],
+              _remaining_of(16), rel_tol=1.0, abs_tol=3.0),
+    ),
+))
+
+
+def run(workloads: Optional[List[str]] = None,
+        scale: Optional[SimScale] = None,
+        points: Sequence[Tuple[int, int]] = tuple(PAPER_POINTS),
+        session: Optional[SimSession] = None) -> List[Table9Row]:
+    """Execute the experiment; returns the structured results."""
+    ctx = Context.make(workloads=workloads, scale=scale,
+                       points=tuple(points))
+    return framework.run_experiment(EXPERIMENT, ctx, session=session)
+
+
+def main() -> str:
+    """Print the paper-style table; returns the rendered text."""
+    table = framework.render_experiment(EXPERIMENT, run())
     print(table)
     return table
 

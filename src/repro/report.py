@@ -1,10 +1,19 @@
 """Full-evaluation report generator.
 
-Runs every experiment module and renders a markdown report comparing
-the reproduction's numbers with the paper's, suitable for writing to
-``EXPERIMENTS.md``:
+Renders a markdown report comparing the reproduction's numbers with
+the paper's, suitable for writing to ``EXPERIMENTS.md``:
 
     python -m repro report EXPERIMENTS.md
+
+The generator is data-driven: every exhibit is a registered
+:class:`~repro.experiments.framework.Experiment` declaration, and the
+whole report is laid out by the framework planner as a *single*
+deduplicated session batch -- cells shared between exhibits (the PRAC
+runs of Figures 3 and 11, the CGF measurements Table XIII transitively
+re-uses, every slowdown cell's unprotected baseline) are simulated
+exactly once.  Each exhibit's section carries the declared
+paper-reference checks with deviation flags, and the report ends with
+the plan's dedup and wall-time footer.
 
 The heavy exhibits honour the same environment knobs as the benchmarks
 (``REPRO_TIME_SCALE``, ``REPRO_CGF_SCALE``, ``REPRO_WORKLOADS``), and
@@ -20,94 +29,103 @@ from __future__ import annotations
 import io
 import time
 from contextlib import redirect_stdout
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.sim.session import SimSession, using_session
+import repro.experiments  # noqa: F401  (registers every declaration)
+from repro.experiments import framework
+from repro.sim.session import SimSession
 
-from repro.experiments import (
-    extras,
-    fig1,
-    fig3,
-    fig6,
-    fig11,
-    fig13,
-    table1,
-    table2,
-    table4,
-    table5,
-    table6,
-    table7,
-    table8,
-    table9,
-    table10,
-    table11,
-    table12,
-    table13,
-)
-
-EXHIBITS: List[Tuple[str, str, Callable[[], str]]] = [
-    ("Table I", "DRAM timings", table1.main),
-    ("Table II", "tolerated TRHD vs mitigation rate", table2.main),
-    ("Figure 3", "MINT+RFM vs PRAC overheads", fig3.main),
-    ("Table IV", "workload characteristics", table4.main),
-    ("Table V", "Naive MIRZA vs queue size", table5.main),
-    ("Figure 6", "benign vs worst-case ACT density", fig6.main),
-    ("Table VI", "CGF vs row-to-subarray mapping", table6.main),
-    ("Table VII", "MIRZA configurations", table7.main),
-    ("Figure 11", "MIRZA vs PRAC slowdown and ALERTs", fig11.main),
-    ("Table VIII", "mitigation overhead MINT vs MIRZA", table8.main),
-    ("Table IX", "FTH vs MINT-W sensitivity", table9.main),
-    ("Table X", "relative area per subarray", table10.main),
-    ("Table XI", "performance attack", table11.main),
-    ("Figure 13", "refresh power overhead", fig13.main),
-    ("Table XII", "overheads at TRHD=4.8K", table12.main),
-    ("Table XIII", "average vs worst-case slowdown", table13.main),
-    ("Figure 1c", "headline summary", fig1.main),
-    ("Extras", "lifetime / energy / storage extensions", extras.main),
+_PAPER_ORDER = [
+    "table1", "table2", "fig3", "table4", "table5", "fig6", "table6",
+    "table7", "fig11", "table8", "table9", "table10", "table11",
+    "fig13", "table12", "table13", "fig1", "extras",
 ]
+"""Registry names in the paper's presentation order."""
 
 
-_ROMAN = {"i": "1", "ii": "2", "iii": "3", "iv": "4", "v": "5",
-          "vi": "6", "vii": "7", "viii": "8", "ix": "9", "x": "10",
-          "xi": "11", "xii": "12", "xiii": "13"}
+def _ordered_experiments() -> List[framework.Experiment]:
+    ordered = [framework.experiment_by_name(name)
+               for name in _PAPER_ORDER]
+    known = {framework.canonical_name(e.name) for e in ordered}
+    # Extension experiments registered outside the paper order go last.
+    ordered.extend(
+        e for e in framework.available_experiments()
+        if framework.canonical_name(e.name) not in known)
+    return ordered
+
+
+EXHIBITS: List[Tuple[str, str, str]] = [
+    (e.title, e.description, e.name) for e in _ordered_experiments()]
+"""(display title, description, registry name) per exhibit, in paper
+order.  Tests (and callers) may monkeypatch this to subset the report.
+"""
 
 
 def _canonical(name: str) -> str:
     """Normalise an exhibit name: 'Table X' == 'table10' == 'tableX'."""
-    flat = name.lower().replace(" ", "").replace("_", "")
-    for prefix in ("table", "figure", "fig"):
-        if flat.startswith(prefix):
-            suffix = flat[len(prefix):]
-            kind = "figure" if prefix.startswith("f") else "table"
-            return kind + _ROMAN.get(suffix, suffix)
-    return flat
+    return framework.canonical_name(name)
 
 
 def exhibit_names() -> List[str]:
     """Names of every runnable exhibit, in paper order."""
-    return [name for name, _, _ in EXHIBITS]
+    return [title for title, _, _ in EXHIBITS]
 
 
 def run_exhibit(name: str,
                 session: Optional[SimSession] = None) -> str:
-    """Run one exhibit's main() and return its rendered table."""
-    wanted = _canonical(name)
-    for exhibit_name, _, main in EXHIBITS:
-        if _canonical(exhibit_name) == wanted:
-            with _maybe_session(session):
-                with redirect_stdout(io.StringIO()):
-                    return main()
-    raise KeyError(f"unknown exhibit {name!r}; known: "
-                   f"{', '.join(exhibit_names())}")
+    """Run one exhibit and return its rendered table."""
+    experiment = framework.experiment_by_name(name)
+    with redirect_stdout(io.StringIO()):
+        result = framework.run_experiment(experiment, session=session)
+    return framework.render_experiment(experiment, result)
 
 
-def _maybe_session(session: Optional[SimSession]):
-    """``using_session(session)``, or a no-op when ``session is None``
-    (the exhibits then fall back to the process default session)."""
-    if session is None:
-        import contextlib
-        return contextlib.nullcontext()
-    return using_session(session)
+def _selected(only: Optional[List[str]]) -> List[Tuple[str, str, str]]:
+    if not only:
+        return list(EXHIBITS)
+    wanted = {_canonical(n) for n in only}
+    return [e for e in EXHIBITS
+            if _canonical(e[0]) in wanted or _canonical(e[2]) in wanted]
+
+
+def _summary_table(selected: List[Tuple[str, str, str]],
+                   plan: framework.Plan) -> List[str]:
+    """The shared paper-vs-repro comparison table (markdown pipes)."""
+    rows = []
+    for title, _, name in selected:
+        experiment = framework.experiment_by_name(name)
+        result = plan.results.get(experiment.name)
+        if result is None:
+            continue
+        for dev in framework.evaluate_checks(experiment, result):
+            rows.append(f"| {title} | {dev.label} | {dev.measured:g} "
+                        f"| {dev.paper:g} | {dev.flag} |")
+    if not rows:
+        return []
+    return [
+        "## Paper vs reproduction at a glance",
+        "",
+        "| Exhibit | Reference check | measured | paper | flag |",
+        "|---|---|---|---|---|",
+        *rows,
+        "",
+        "`DEV` marks a check outside its declared tolerance (see the",
+        "per-exhibit notes; scale-induced spread is expected at the",
+        "default `REPRO_TIME_SCALE`).",
+        "",
+    ]
+
+
+def _footer(plan: framework.Plan, elapsed: float) -> List[str]:
+    stats = plan.stats
+    line = (f"_{stats.experiments} experiments planned "
+            f"{stats.planned_cells} cells -> {stats.unique_jobs} "
+            f"unique jobs ({stats.deduplicated} deduplicated)")
+    if plan.batch is not None:
+        line += (f"; session computed {plan.batch.computed}, "
+                 f"served {plan.batch.cache_hits} from cache")
+    line += f"; wall time {elapsed:.1f}s._"
+    return ["---", "", line, ""]
 
 
 def generate_markdown(only: Optional[List[str]] = None,
@@ -115,10 +133,11 @@ def generate_markdown(only: Optional[List[str]] = None,
                       session: Optional[SimSession] = None) -> str:
     """Run all (or ``only`` the named) exhibits; return the report.
 
-    When ``session`` is given, every exhibit's simulation sweep is
-    routed through it, so ``SimSession(max_workers=N)`` parallelises
-    the whole report and a disk-cache-enabled session makes reruns
-    nearly free.  The rendered tables are byte-identical either way.
+    Every selected exhibit (plus its declared dependencies) is planned
+    into one deduplicated session batch, so shared cells simulate once
+    and ``SimSession(max_workers=N)`` parallelises the whole report.
+    The rendered tables are byte-identical to the per-module ``main()``
+    output either way.
     """
     lines = [
         "# Reproduction report",
@@ -128,26 +147,35 @@ def generate_markdown(only: Optional[List[str]] = None,
         "for scale notes and commentary).",
         "",
     ]
-    selected = EXHIBITS
-    if only:
-        wanted = {_canonical(n) for n in only}
-        selected = [e for e in EXHIBITS
-                    if _canonical(e[0]) in wanted]
-    with _maybe_session(session):
-        for name, description, main in selected:
-            start = time.time()
-            if progress:
-                print(f"running {name}: {description}...", flush=True)
-            with redirect_stdout(io.StringIO()):
-                rendered = main()
-            elapsed = time.time() - start
-            lines.append(f"## {name} — {description}")
-            lines.append("")
-            lines.append("```")
-            lines.append(rendered)
-            lines.append("```")
-            lines.append(f"_(generated in {elapsed:.1f}s)_")
-            lines.append("")
+    selected = _selected(only)
+    start = time.perf_counter()
+    plan = framework.plan([name for _, _, name in selected],
+                          session=session)
+    if progress:
+        print(f"planned {plan.stats.planned_cells} cells across "
+              f"{plan.stats.experiments} experiments "
+              f"({plan.stats.unique_jobs} unique jobs, "
+              f"{plan.stats.deduplicated} deduplicated); running...",
+              flush=True)
+    with redirect_stdout(io.StringIO()):
+        plan.execute()
+    lines.extend(_summary_table(selected, plan))
+    for title, description, name in selected:
+        experiment = framework.experiment_by_name(name)
+        result = plan.results[experiment.name]
+        if progress:
+            print(f"rendering {title}: {description}...", flush=True)
+        lines.append(f"## {title} — {description}")
+        lines.append("")
+        lines.append("```")
+        lines.append(framework.render_experiment(experiment, result))
+        lines.append("```")
+        lines.append(f"_({plan.cell_count(name)} planned cells)_")
+        for dev in framework.evaluate_checks(experiment, result):
+            lines.append(f"- {dev.flag}: {dev.label} — measured "
+                         f"{dev.measured:g}, paper {dev.paper:g}")
+        lines.append("")
+    lines.extend(_footer(plan, time.perf_counter() - start))
     return "\n".join(lines)
 
 

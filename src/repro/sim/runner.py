@@ -32,9 +32,11 @@ closure still works -- it just runs in-process and uncached.
 
 from __future__ import annotations
 
+import os
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 
 from repro import obs as _obs
 from repro.core.config import MirzaConfig
@@ -229,7 +231,16 @@ def mirza_setup(trhd: int, scale: SimScale = SimScale(),
 # ----------------------------------------------------------------------
 # Running
 # ----------------------------------------------------------------------
-_WORKLOAD_CACHE: Dict[Tuple, SyntheticWorkload] = {}
+_WORKLOAD_CACHE: "OrderedDict[Tuple, int]" = OrderedDict()
+"""LRU map of (workload, scale, seed, config) -> calibrated
+``compute_per_miss_ps``.  Only the calibrated *value* is cached, never
+the :class:`SyntheticWorkload` object itself: every call gets a fresh
+workload, so a caller mutating its copy can't corrupt later hits."""
+
+
+def _workload_cache_cap() -> int:
+    """Entry bound for the calibration cache (REPRO_WORKLOAD_CACHE)."""
+    return max(1, int(os.environ.get("REPRO_WORKLOAD_CACHE", "64")))
 
 
 def _resolve(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
@@ -255,9 +266,12 @@ def calibrated_workload(workload: Union[str, WorkloadSpec],
     exactly the calibration the parent would have computed."""
     spec = _resolve(workload)
     key = (spec.name, scale.time_scale, seed, config)
-    if key in _WORKLOAD_CACHE:
-        return _WORKLOAD_CACHE[key]
     synthetic = SyntheticWorkload(spec, config, scale, seed=seed)
+    cached = _WORKLOAD_CACHE.get(key)
+    if cached is not None:
+        _WORKLOAD_CACHE.move_to_end(key)
+        synthetic.compute_per_miss_ps = cached
+        return synthetic
     window = scale.scaled_trefw(config.timings)
     probe = max(config.timings.tREFI * 4, window // 8)
     target_acts = (scale.scale_count(spec.acts_per_bank_per_window)
@@ -280,7 +294,9 @@ def calibrated_workload(workload: Union[str, WorkloadSpec],
         synthetic.compute_per_miss_ps = max(
             250, int(synthetic.compute_per_miss_ps
                      + (wanted_inter - measured_inter)))
-    _WORKLOAD_CACHE[key] = synthetic
+    _WORKLOAD_CACHE[key] = synthetic.compute_per_miss_ps
+    while len(_WORKLOAD_CACHE) > _workload_cache_cap():
+        _WORKLOAD_CACHE.popitem(last=False)
     return synthetic
 
 

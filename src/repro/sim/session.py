@@ -81,6 +81,28 @@ _MISS = object()
 """Internal sentinel distinguishing 'no cached value' from any result."""
 
 
+@dataclasses.dataclass
+class BatchStats:
+    """Plan-level dedup statistics for one :meth:`SimSession.run_many`.
+
+    ``submitted`` counts the jobs handed to the batch, ``unique`` the
+    distinct content tokens among them (plus any untokened jobs, which
+    can never deduplicate), ``cache_hits`` the submitted jobs served
+    from a pre-batch cache, and ``computed`` the jobs actually
+    executed.  ``deduplicated`` is the work the batch *planned away*:
+    jobs whose content another job in the same batch already covers.
+    """
+
+    submitted: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+
+    @property
+    def deduplicated(self) -> int:
+        return self.submitted - self.unique
+
+
 def _observability_satisfied(result: Any) -> bool:
     """True unless ``result`` lacks observability data being requested.
 
@@ -305,7 +327,9 @@ class SimSession:
         self.max_workers = max_workers
         self._memory: Dict[str, Any] = {}
         self.stats: Dict[str, int] = {
-            "memory_hits": 0, "disk_hits": 0, "misses": 0}
+            "memory_hits": 0, "disk_hits": 0, "misses": 0,
+            "planned": 0, "unique": 0, "baseline_dedup": 0}
+        self.last_batch: Optional[BatchStats] = None
 
     # -- public API ----------------------------------------------------
     def run(self, job: Any) -> Any:
@@ -328,13 +352,17 @@ class SimSession:
         results: List[Any] = [_MISS] * len(jobs)
         pending: Dict[str, Any] = {}
         untokened: List[int] = []
+        seen_tokens = set()
+        hits = 0
         for index, (job, token) in enumerate(zip(jobs, tokens)):
             if token is None:
                 untokened.append(index)
                 continue
+            seen_tokens.add(token)
             hit = self._lookup(token, type(job))
             if hit is not _MISS:
                 results[index] = hit
+                hits += 1
             elif token not in pending:
                 pending[token] = job
         unique = list(pending.items())
@@ -359,6 +387,13 @@ class SimSession:
         else:
             computed = [job.execute() for _, job in unique]
         self.stats["misses"] += len(unique) + len(untokened)
+        self.last_batch = BatchStats(
+            submitted=len(jobs),
+            unique=len(seen_tokens) + len(untokened),
+            cache_hits=hits,
+            computed=len(unique) + len(untokened))
+        self.stats["planned"] += self.last_batch.submitted
+        self.stats["unique"] += self.last_batch.unique
         for (token, job), result in zip(unique, computed):
             self._store(token, type(job), result)
         for index, token in enumerate(tokens):
@@ -378,20 +413,35 @@ class SimSession:
         """Batched :meth:`slowdown`: one fan-out for the whole sweep.
 
         The matching unprotected baseline jobs are derived, deduplicated
-        through the cache, and executed in the *same* process-pool batch
-        as the protected runs, so a sweep over many setups of one
-        workload pays for its baseline exactly once.
+        *before submission* (each distinct (workload, scale, seed,
+        config) baseline is planned once per batch no matter how many
+        protected jobs reference it -- the removed duplicates are
+        tallied in ``stats["baseline_dedup"]``), and executed in the
+        same process-pool batch as the protected runs.
         """
         from repro.sim.runner import baseline_setup
         jobs = [job.resolved() for job in jobs]
-        baselines = [dataclasses.replace(job, setup=baseline_setup())
-                     for job in jobs]
+        setup = baseline_setup()
+        baselines: List[SimJob] = []
+        baseline_of: List[int] = []
+        seen: Dict[str, int] = {}
+        for job in jobs:
+            baseline = dataclasses.replace(job, setup=setup)
+            token = job_token(baseline)
+            index = seen.get(token) if token is not None else None
+            if index is None:
+                index = len(baselines)
+                baselines.append(baseline)
+                if token is not None:
+                    seen[token] = index
+            baseline_of.append(index)
+        self.stats["baseline_dedup"] += len(jobs) - len(baselines)
         results = self.run_many(baselines + jobs,
                                 max_workers=max_workers)
-        count = len(jobs)
-        return [(protected.slowdown_pct(baseline), protected)
-                for baseline, protected in zip(results[:count],
-                                               results[count:])]
+        count = len(baselines)
+        return [(protected.slowdown_pct(results[baseline_of[i]]),
+                 protected)
+                for i, protected in enumerate(results[count:])]
 
     def clear(self, memory: bool = True, disk: bool = False) -> None:
         """Drop cached results (the in-memory map, optionally disk)."""

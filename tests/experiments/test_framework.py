@@ -1,0 +1,197 @@
+"""Tests for the declarative experiment framework and planner."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.experiments import framework
+from repro.experiments.framework import (
+    Cell,
+    Check,
+    Context,
+    Experiment,
+)
+from repro.params import SimScale
+from repro.report import generate_markdown
+from repro.sim.runner import prac_setup
+from repro.sim.session import SimJob, SimSession
+
+FAST = Context.make(workloads=["tc"], scale=SimScale(4096),
+                    cgf=SimScale(512))
+
+
+def _demo(name, **kwargs):
+    defaults = dict(
+        title=name.title(),
+        description="demo experiment",
+        grid=lambda ctx: (),
+        reduce=lambda cells: None,
+        render=lambda result: str(result),
+    )
+    defaults.update(kwargs)
+    return Experiment(name=name, **defaults)
+
+
+class TestContext:
+    def test_options_sorted_and_none_dropped(self):
+        ctx = Context.make(b=2, a=1, c=None)
+        assert ctx.options == (("a", 1), ("b", 2))
+
+    def test_opt_falls_back_to_default(self):
+        ctx = Context.make(thresholds=(1000,))
+        assert ctx.opt("thresholds") == (1000,)
+        assert ctx.opt("missing", 7) == 7
+
+    def test_scales_follow_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIME_SCALE", "4096")
+        monkeypatch.setenv("REPRO_CGF_SCALE", "512")
+        assert Context.make().timed_scale() == SimScale(4096)
+        assert Context.make().counting_scale() == SimScale(512)
+        assert Context.make(scale=SimScale(64)).timed_scale() \
+            == SimScale(64)
+
+
+class TestRegistry:
+    def test_title_is_a_lookup_alias(self):
+        assert framework.experiment_by_name("Table VII") \
+            is framework.experiment_by_name("table7")
+        assert framework.experiment_by_name("Figure 11") \
+            is framework.experiment_by_name("fig11")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown exhibit"):
+            framework.experiment_by_name("table99")
+
+    def test_shadowing_registration_refused(self):
+        with pytest.raises(ValueError, match="already registered"):
+            framework.register_experiment(_demo("table7"))
+
+
+class TestPlanner:
+    def test_joint_plan_dedupes_across_experiments(self):
+        # Figures 3 and 11 share their PRAC cells and unprotected
+        # baselines, and Table XIII needs both figures: planning the
+        # three together must submit strictly fewer unique jobs than
+        # planning each on its own.
+        names = ["fig3", "fig11", "table13"]
+        separate = sum(
+            framework.plan([name], ctx=FAST).stats.unique_jobs
+            for name in names)
+        joint = framework.plan(names, ctx=FAST)
+        assert joint.stats.experiments == 3
+        assert joint.stats.unique_jobs < separate
+        assert joint.stats.deduplicated > 0
+
+    def test_dependencies_planned_once(self):
+        # table13 pulls fig3 and fig11 in through ``needs``; asking
+        # for them explicitly as well must not plan them twice.
+        alone = framework.plan(["table13"], ctx=FAST)
+        assert [e.name for e in alone.experiments()] \
+            == ["fig3", "fig11", "table13"]
+        joint = framework.plan(["fig3", "fig11", "table13"], ctx=FAST)
+        assert joint.stats.planned_cells == alone.stats.planned_cells
+
+    def test_plan_is_inspectable_before_execution(self):
+        plan = framework.plan(["fig11"], ctx=FAST)
+        assert plan.batch is None
+        assert plan.results == {}
+        assert plan.stats.planned_cells > 0
+        # One PRAC + three MIRZA cells for the single workload, each
+        # with a derived baseline.
+        assert plan.cell_count("fig11") == 8
+
+    def test_duplicate_cell_keys_rejected(self):
+        job = SimJob("tc", prac_setup(1000), SimScale(4096))
+        exp = _demo("dup-cell-demo",
+                    grid=lambda ctx: [Cell("k", job), Cell("k", job)])
+        with pytest.raises(ValueError, match="duplicate cell key"):
+            framework.plan([exp])
+
+
+class TestExecution:
+    def test_serial_and_parallel_reduce_identically(self):
+        # Reducers are pure functions of the cell values, so fanning
+        # the batch over worker processes must be bit-identical to the
+        # serial run.
+        ctx = Context.make(workloads=["tc"], scale=SimScale(4096),
+                           thresholds=(1000,))
+        serial = framework.run_experiment(
+            "fig11", ctx, session=SimSession(disk_cache=False))
+        parallel = framework.run_experiment(
+            "fig11", ctx,
+            session=SimSession(disk_cache=False, max_workers=2))
+        assert serial == parallel
+
+    def test_execute_populates_batch_and_results(self):
+        ctx = Context.make(workloads=["tc"], scale=SimScale(4096),
+                           thresholds=(1000,))
+        plan = framework.plan(["fig11"], ctx=ctx,
+                              session=SimSession(disk_cache=False))
+        results = plan.execute()
+        assert set(results) == {"fig11"}
+        assert plan.batch is not None
+        assert plan.batch.submitted == plan.stats.planned_cells
+        assert plan.wall_time > 0
+        assert results["fig11"].mirza_slowdown.keys() == {1000}
+
+
+class TestChecks:
+    def test_relative_tolerance_flags(self):
+        exp = _demo("check-demo", checks=(
+            Check("value", 10.0, lambda r: r, rel_tol=0.1),))
+        ok, = framework.evaluate_checks(exp, 10.5)
+        assert ok.within and ok.flag == "ok"
+        dev, = framework.evaluate_checks(exp, 12.0)
+        assert not dev.within and dev.flag == "DEV"
+
+    def test_absolute_tolerance_covers_zero_references(self):
+        exp = _demo("check-demo", checks=(
+            Check("value", 0.0, lambda r: r,
+                  rel_tol=0.5, abs_tol=1.0),))
+        ok, = framework.evaluate_checks(exp, 0.8)
+        assert ok.within
+        dev, = framework.evaluate_checks(exp, 1.5)
+        assert not dev.within
+
+    def test_report_renders_deviation_flags(self):
+        report = generate_markdown(only=["table12"], progress=False)
+        assert "Paper vs reproduction at a glance" in report
+        assert "MIRZA storage bytes/bank" in report
+        assert "- ok:" in report or "- DEV:" in report
+
+
+class TestCliExperiments:
+    def test_list_experiments(self, capsys):
+        assert cli_main(["list", "--experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "table13" in out
+
+    def test_run_experiment_flag(self, capsys):
+        assert cli_main(["run", "--experiment", "table12"]) == 0
+        out = capsys.readouterr().out
+        assert "Table XII" in out
+        assert "MIRZA storage bytes/bank" in out
+
+    def test_run_experiment_unknown(self, capsys):
+        assert cli_main(["run", "--experiment", "tableZZ"]) == 2
+        assert "unknown exhibit" in capsys.readouterr().err
+
+    def test_run_experiment_plans_one_batch(self, monkeypatch,
+                                            capsys):
+        monkeypatch.setenv("REPRO_WORKLOADS", "tc")
+        assert cli_main(["run", "--experiment", "fig11",
+                         "--experiment", "table7",
+                         "--time-scale", "4096", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 11" in captured.out
+        assert "Table VII" in captured.out
+        assert "unique" in captured.err  # plan dedup stats
+
+    def test_report_only_flag(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert cli_main(["report", str(target),
+                         "--only", "table7,table10"]) == 0
+        text = target.read_text()
+        assert "Table VII" in text
+        assert "Table X" in text
+        assert "Figure 3" not in text

@@ -67,9 +67,34 @@ class TestSetups:
 
 class TestCalibration:
     def test_calibrated_workload_cached(self):
+        # The calibrated pacing is cached, but each call returns a
+        # *fresh* object so callers can't corrupt later cache hits.
         a = calibrated_workload("tc", SCALE, seed=3)
         b = calibrated_workload("tc", SCALE, seed=3)
-        assert a is b
+        assert a is not b
+        assert a.compute_per_miss_ps == b.compute_per_miss_ps
+        assert a.mlp == b.mlp
+
+    def test_cache_hit_unaffected_by_caller_mutation(self):
+        # Regression: the module-global cache used to hand back the
+        # same SyntheticWorkload to every caller, so mutating one
+        # return value silently corrupted all subsequent hits.
+        a = calibrated_workload("tc", SCALE, seed=3)
+        calibrated = a.compute_per_miss_ps
+        a.compute_per_miss_ps = 123_456_789
+        b = calibrated_workload("tc", SCALE, seed=3)
+        assert b.compute_per_miss_ps == calibrated
+
+    def test_cache_is_bounded_lru(self, monkeypatch):
+        from repro.sim import runner
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", "2")
+        runner._WORKLOAD_CACHE.clear()
+        for name in ("tc", "cc", "bc"):
+            calibrated_workload(name, SCALE, seed=3)
+        assert len(runner._WORKLOAD_CACHE) == 2
+        # Oldest entry (tc) was evicted; the newest two remain.
+        names = [key[0] for key in runner._WORKLOAD_CACHE]
+        assert names == ["cc", "bc"]
 
     def test_calibration_cache_keyed_by_config(self):
         # Distinct SystemConfigs calibrate differently (pacing depends
@@ -81,7 +106,9 @@ class TestCalibration:
         assert other is not default
         assert other.config.num_cores == 4
         # The default-config entry is untouched.
-        assert calibrated_workload("tc", SCALE, seed=3) is default
+        again = calibrated_workload("tc", SCALE, seed=3)
+        assert again.compute_per_miss_ps == default.compute_per_miss_ps
+        assert again.config.num_cores == default.config.num_cores
 
     def test_calibration_hits_target_rate(self):
         result = run_baseline("tc", SCALE, seed=1)

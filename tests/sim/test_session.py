@@ -147,6 +147,48 @@ class TestParallel:
         assert session.stats["memory_hits"] >= 1
 
 
+class TestBatchStats:
+    def test_run_many_dedups_within_batch(self):
+        session = SimSession(disk_cache=False)
+        job = SimJob("tc", prac_setup(1000), SCALE)
+        results = session.run_many([job, job, job])
+        assert results[0] == results[1] == results[2]
+        batch = session.last_batch
+        assert batch.submitted == 3
+        assert batch.unique == 1
+        assert batch.deduplicated == 2
+        assert batch.cache_hits == 0
+        assert batch.computed == 1
+
+    def test_second_batch_served_from_cache(self):
+        session = SimSession(disk_cache=False)
+        job = SimJob("tc", prac_setup(1000), SCALE)
+        session.run_many([job])
+        session.run_many([job])
+        batch = session.last_batch
+        assert batch.cache_hits == 1
+        assert batch.computed == 0
+
+    def test_slowdowns_share_one_baseline(self):
+        # Two protected jobs over the same workload/scale/seed need
+        # only a single unprotected baseline simulation between them.
+        session = SimSession(disk_cache=False)
+        jobs = [SimJob("tc", prac_setup(1000), SCALE),
+                SimJob("tc", mirza_setup(1000, SCALE), SCALE)]
+        pairs = session.slowdowns(jobs)
+        assert len(pairs) == 2
+        assert session.last_batch.submitted == 3  # 1 baseline + 2 jobs
+        assert session.stats["baseline_dedup"] == 1
+
+    def test_distinct_workloads_keep_distinct_baselines(self):
+        session = SimSession(disk_cache=False)
+        jobs = [SimJob("tc", prac_setup(1000), SCALE),
+                SimJob("cc", prac_setup(1000), SCALE)]
+        session.slowdowns(jobs)
+        assert session.last_batch.submitted == 4  # 2 baselines + 2 jobs
+        assert session.stats["baseline_dedup"] == 0
+
+
 class TestDefaultSessionWrappers:
     def test_distinct_configs_get_distinct_baselines(self):
         # Regression for the id(type(config)) cache-key bug: baselines
