@@ -22,10 +22,18 @@ for ``python -m repro run table7``).
 
 Every subcommand accepts the shared simulation flags (``--jobs``,
 ``--time-scale``, ``--cgf-scale``, ``--workloads``, ``--seed``,
-``--cache-dir``, ``--no-cache``, ``--profile``) and the observability
+``--cache-dir``, ``--no-cache``, ``--profile``), the observability
 flags (``--metrics``, ``--trace-out``, ``--trace-limit``; see
-``docs/observability.md``).  The ``REPRO_*`` environment variables
-remain as fallbacks; an explicit flag always wins over the
+``docs/observability.md``), and the failure-handling flags
+(``--keep-going``/``--fail-fast``, ``--max-retries N``,
+``--job-timeout SECONDS``; see the "Failure semantics" section of
+``docs/architecture.md``).  ``report`` defaults to ``--keep-going``:
+a permanently-failed cell marks its exhibit DEGRADED in the rendered
+markdown instead of aborting the run, and completed cells are cached
+as they finish so a rerun resumes from where the last one stopped.
+Every other subcommand defaults to ``--fail-fast``, which raises after
+storing the completed sibling results.  The ``REPRO_*`` environment
+variables remain as fallbacks; an explicit flag always wins over the
 environment.
 """
 
@@ -38,7 +46,7 @@ import sys
 from typing import Iterator, List, Optional
 
 from repro.report import exhibit_names, run_exhibit, write_report
-from repro.sim.session import SimSession
+from repro.sim.session import FailurePolicy, SimSession
 
 _SUBCOMMANDS = ("list", "run", "report", "stats", "trace")
 
@@ -90,6 +98,27 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--no-cache", action="store_true",
             help="disable the on-disk result cache for this run")
+        policy = p.add_mutually_exclusive_group()
+        policy.add_argument(
+            "--keep-going", action="store_true",
+            help="a permanently-failed job yields a typed JobFailure "
+                 "(a DEGRADED exhibit in reports) instead of aborting "
+                 "the batch (default for `report`)")
+        policy.add_argument(
+            "--fail-fast", action="store_true",
+            help="raise on the first permanently-failed job, after "
+                 "storing every completed sibling result (default "
+                 "for every subcommand except `report`)")
+        p.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help="re-executions per failed job; retried jobs re-run "
+                 "the same pure content, so results stay bit-identical "
+                 "(default: REPRO_MAX_RETRIES or 1)")
+        p.add_argument(
+            "--job-timeout", type=float, default=None, metavar="SEC",
+            help="per-job seconds budget in the worker pool; a "
+                 "timed-out job consumes a retry and its pool is "
+                 "rebuilt (default: REPRO_JOB_TIMEOUT or none)")
         p.add_argument(
             "--profile", action="store_true",
             help="profile the simulation kernel and print a per-phase "
@@ -207,11 +236,27 @@ def _environment(args: argparse.Namespace) -> Iterator[None]:
 
 
 def _session_for(args: argparse.Namespace) -> SimSession:
-    """Build the session the chosen subcommand will submit jobs to."""
+    """Build the session the chosen subcommand will submit jobs to.
+
+    Failure policy: an explicit ``--keep-going``/``--fail-fast`` wins;
+    otherwise ``report`` keeps going (one poisoned cell degrades a
+    report, it doesn't destroy it) and everything else fails fast.
+    """
+    if getattr(args, "keep_going", False):
+        policy = FailurePolicy.KEEP_GOING
+    elif getattr(args, "fail_fast", False):
+        policy = FailurePolicy.FAIL_FAST
+    elif getattr(args, "command", None) == "report":
+        policy = FailurePolicy.KEEP_GOING
+    else:
+        policy = FailurePolicy.FAIL_FAST
     return SimSession(
         cache_dir=getattr(args, "cache_dir", None),
         disk_cache=False if getattr(args, "no_cache", False) else None,
-        max_workers=getattr(args, "jobs", None))
+        max_workers=getattr(args, "jobs", None),
+        failure_policy=policy,
+        max_retries=getattr(args, "max_retries", None),
+        job_timeout=getattr(args, "job_timeout", None))
 
 
 def _run_simulations(args: argparse.Namespace,
@@ -221,7 +266,7 @@ def _run_simulations(args: argparse.Namespace,
     trace, JSON-lines events)."""
     from repro.params import SimScale
     from repro.sim.registry import setup_by_name
-    from repro.sim.session import SimJob
+    from repro.sim.session import SimJob, is_failure
 
     scale = SimScale(int(os.environ.get("REPRO_TIME_SCALE") or 512))
     seed = int(os.environ.get("REPRO_SEED") or 0)
@@ -234,12 +279,19 @@ def _run_simulations(args: argparse.Namespace,
                    or getattr(args, "exhibits"))
     jobs = [SimJob(name, setup, scale, seed) for name in targets]
     results = session.run_many(jobs)
+    status = 0
 
     for name, result in zip(targets, results):
+        if is_failure(result):
+            print(f"{name}: FAILED — {result.describe()}",
+                  file=sys.stderr)
+            status = 1
+            continue
         ipc = sum(result.ipc) / len(result.ipc) if result.ipc else 0.0
         print(f"{name}: setup={args.setup} requests="
               f"{result.total_requests} acts={result.total_activations}"
               f" row-hit={result.row_hit_rate:.3f} mean-ipc={ipc:.3f}")
+    results = [r for r in results if not is_failure(r)]
 
     if any(result.metrics for result in results):
         from repro.obs import merge_snapshots, render_metrics_report
@@ -261,7 +313,7 @@ def _run_simulations(args: argparse.Namespace,
         if jsonl_out:
             obs_export.write_jsonl(events, jsonl_out)
             print(f"wrote JSONL events to {jsonl_out}", file=sys.stderr)
-    return 0
+    return status
 
 
 def _run_experiments(names: List[str], session: SimSession) -> int:
@@ -287,11 +339,17 @@ def _run_experiments(names: List[str], session: SimSession) -> int:
                   f"{dev.measured:g}, paper {dev.paper:g}")
         print()
     stats = plan.stats
-    print(f"planned {stats.planned_cells} cells -> "
-          f"{stats.unique_jobs} unique jobs "
-          f"({stats.deduplicated} deduplicated) in "
-          f"{plan.wall_time:.1f}s", file=sys.stderr)
-    return 0
+    line = (f"planned {stats.planned_cells} cells -> "
+            f"{stats.unique_jobs} unique jobs "
+            f"({stats.deduplicated} deduplicated) in "
+            f"{plan.wall_time:.1f}s")
+    batch = plan.batch
+    if batch is not None and (batch.failed or batch.retried
+                              or batch.timed_out):
+        line += (f"; {batch.failed} failed, {batch.retried} retried, "
+                 f"{batch.timed_out} timed out")
+    print(line, file=sys.stderr)
+    return 1 if plan.degraded() else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -328,33 +386,47 @@ def main(argv: Optional[List[str]] = None) -> int:
                     print(name)
             return 0
         from repro.sim.profile import maybe_profile_from_env
+        from repro.sim.session import JobFailed
         with maybe_profile_from_env(
                 force=getattr(args, "profile", False)) as prof:
             status = 0
-            if args.command == "report":
-                only = getattr(args, "only", None)
-                only = ([n for n in only.split(",") if n.strip()]
-                        if only else None)
-                write_report(args.path, only=only, session=session)
-            elif args.command in ("stats", "trace") or (
-                    args.command == "run" and args.setup):
-                status = _run_simulations(args, session)
-            else:
-                names = list(args.exhibits)
-                names.extend(getattr(args, "experiment", None) or [])
-                if not names:
-                    print("run: name at least one exhibit (or pass "
-                          "--experiment NAME)", file=sys.stderr)
-                    return 2
-                if getattr(args, "experiment", None):
-                    status = _run_experiments(names, session)
+            try:
+                if args.command == "report":
+                    only = getattr(args, "only", None)
+                    only = ([n for n in only.split(",") if n.strip()]
+                            if only else None)
+                    write_report(args.path, only=only, session=session)
+                elif args.command in ("stats", "trace") or (
+                        args.command == "run" and args.setup):
+                    status = _run_simulations(args, session)
                 else:
-                    for name in names:
-                        try:
-                            print(run_exhibit(name, session=session))
-                        except KeyError as error:
-                            print(error, file=sys.stderr)
-                            return 2
+                    names = list(args.exhibits)
+                    names.extend(getattr(args, "experiment", None)
+                                 or [])
+                    if not names:
+                        print("run: name at least one exhibit (or "
+                              "pass --experiment NAME)",
+                              file=sys.stderr)
+                        return 2
+                    if getattr(args, "experiment", None):
+                        status = _run_experiments(names, session)
+                    else:
+                        for name in names:
+                            try:
+                                print(run_exhibit(name,
+                                                  session=session))
+                            except KeyError as error:
+                                print(error, file=sys.stderr)
+                                return 2
+            except JobFailed as error:
+                # fail_fast: completed siblings are already cached, so
+                # a rerun resumes from where this batch died.
+                print(f"error: {error.failure.describe()}",
+                      file=sys.stderr)
+                print("(completed jobs were cached; rerun to resume, "
+                      "or pass --keep-going to degrade instead of "
+                      "aborting)", file=sys.stderr)
+                return 1
         if prof is not None:
             print(prof.report(), file=sys.stderr)
     return status

@@ -74,8 +74,10 @@ from typing import (
 from repro.params import SimScale
 from repro.sim.session import (
     BatchStats,
+    JobFailure,
     SimSession,
     get_default_session,
+    is_failure,
     job_token,
 )
 from repro.workloads.specs import WorkloadSpec
@@ -188,16 +190,62 @@ class Check:
 
 @dataclass(frozen=True)
 class Deviation:
-    """An evaluated :class:`Check`: measured vs paper, flagged."""
+    """An evaluated :class:`Check`: measured vs paper, flagged.
+
+    ``degraded=True`` marks a check that could not be evaluated at all
+    because the exhibit's cells failed (see :class:`DegradedResult`);
+    its ``measured`` is NaN and its flag renders as ``DEGRADED``.
+    """
 
     label: str
     measured: float
     paper: float
     within: bool
+    degraded: bool = False
 
     @property
     def flag(self) -> str:
+        if self.degraded:
+            return "DEGRADED"
         return "ok" if self.within else "DEV"
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """The Result slot of an exhibit whose cells permanently failed.
+
+    Produced by :meth:`Plan.execute` when a session batch running
+    under :obj:`~repro.sim.session.FailurePolicy.KEEP_GOING` returned
+    :class:`~repro.sim.session.JobFailure` records for some of the
+    exhibit's cells (or their derived baselines), or when a declared
+    dependency's Result is itself degraded.  The reducer is *not*
+    called -- reducers are pure folds over complete grids -- and the
+    report renders this record's failure summary in place of the
+    table, flagged ``DEGRADED``, instead of crashing.
+    """
+
+    experiment: str
+    failures: Tuple[JobFailure, ...] = ()
+    missing_cells: Tuple[Any, ...] = ()
+    degraded_deps: Tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        """Multi-line failure account rendered in place of the table."""
+        lines = [f"DEGRADED: {len(self.missing_cells)} cell(s) of "
+                 f"{self.experiment!r} failed permanently "
+                 f"({', '.join(repr(k) for k in self.missing_cells)})."]
+        for failure in self.failures:
+            lines.append(f"  - {failure.describe()}")
+        for name in self.degraded_deps:
+            lines.append(f"  - dependency {name!r} is itself degraded")
+        lines.append("Completed sibling cells were cached as they "
+                     "finished; a re-run resumes from there.")
+        return "\n".join(lines)
+
+
+def is_degraded(result: Any) -> bool:
+    """True when an experiment Result is a :class:`DegradedResult`."""
+    return isinstance(result, DegradedResult)
 
 
 @dataclass(frozen=True, eq=False)
@@ -430,6 +478,12 @@ class Plan:
         Returns ``{experiment.name: Result}`` for every experiment in
         the plan (dependencies included).  Idempotent: a second call
         re-reduces from the session cache.
+
+        Under :obj:`~repro.sim.session.FailurePolicy.KEEP_GOING` a
+        permanently-failed cell does not abort the plan: the exhibits
+        it belongs to (and their dependents) resolve to
+        :class:`DegradedResult` records while every unaffected exhibit
+        reduces normally from the surviving cells.
         """
         start = time.perf_counter()
         results = (self.session.run_many(self._jobs)
@@ -438,22 +492,44 @@ class Plan:
         out: Dict[str, Any] = {}
         for name, entry in self._entries.items():
             values: Dict[Any, Any] = {}
+            failures: List[JobFailure] = []
+            missing: List[Any] = []
             for cell, index, baseline_index in self._layout[name]:
-                if baseline_index is None:
-                    values[cell.key] = results[index]
+                protected = results[index]
+                baseline = (results[baseline_index]
+                            if baseline_index is not None else None)
+                if is_failure(protected) or is_failure(baseline):
+                    failures.extend(f for f in (protected, baseline)
+                                    if is_failure(f))
+                    missing.append(cell.key)
+                elif baseline_index is None:
+                    values[cell.key] = protected
                 else:
-                    protected = results[index]
                     values[cell.key] = (
-                        protected.slowdown_pct(results[baseline_index]),
-                        protected)
+                        protected.slowdown_pct(baseline), protected)
             deps = {need: out[canonical_name(need)]
                     for need in entry.experiment.needs}
-            out[name] = entry.experiment.reduce(
-                Cells(entry.ctx, values, deps))
+            degraded_deps = tuple(
+                need for need in entry.experiment.needs
+                if is_degraded(deps[need]))
+            if missing or degraded_deps:
+                out[name] = DegradedResult(
+                    experiment=entry.experiment.name,
+                    failures=tuple(failures),
+                    missing_cells=tuple(missing),
+                    degraded_deps=degraded_deps)
+            else:
+                out[name] = entry.experiment.reduce(
+                    Cells(entry.ctx, values, deps))
         self.results = {entry.experiment.name: out[name]
                         for name, entry in self._entries.items()}
         self.wall_time = time.perf_counter() - start
         return self.results
+
+    def degraded(self) -> List[str]:
+        """Names of planned experiments whose Result is degraded."""
+        return [name for name, result in self.results.items()
+                if is_degraded(result)]
 
 
 def plan(experiments: Sequence[Union[str, Experiment]],
@@ -509,9 +585,16 @@ def run_experiment(experiment: Union[str, Experiment],
 # ----------------------------------------------------------------------
 def render_experiment(experiment: Union[str, Experiment],
                       result: Any) -> str:
-    """Render a Result through the experiment's declared schema."""
+    """Render a Result through the experiment's declared schema.
+
+    A :class:`DegradedResult` renders as its failure summary instead
+    of going through the declared schema (whose ``rows`` callable
+    expects a complete Result).
+    """
     if not isinstance(experiment, Experiment):
         experiment = experiment_by_name(experiment)
+    if is_degraded(result):
+        return result.summary()
     renderer = experiment.render
     if isinstance(renderer, TableSpec):
         from repro.sim.stats import format_table
@@ -524,9 +607,25 @@ def render_experiment(experiment: Union[str, Experiment],
 
 def evaluate_checks(experiment: Union[str, Experiment],
                     result: Any) -> List[Deviation]:
-    """Compare a Result against the declared paper references."""
+    """Compare a Result against the declared paper references.
+
+    A :class:`DegradedResult` cannot be measured: every declared check
+    (or, when none are declared, one synthetic entry) comes back as a
+    ``DEGRADED`` :class:`Deviation` with a NaN measurement, so the
+    report's summary table flags the exhibit instead of crashing on
+    the checks' accessors.
+    """
     if not isinstance(experiment, Experiment):
         experiment = experiment_by_name(experiment)
+    if is_degraded(result):
+        nan = float("nan")
+        if not experiment.checks:
+            return [Deviation(label="cells failed", measured=nan,
+                              paper=nan, within=False, degraded=True)]
+        return [Deviation(label=check.label, measured=nan,
+                          paper=check.paper, within=False,
+                          degraded=True)
+                for check in experiment.checks]
     deviations = []
     for check in experiment.checks:
         measured = float(check.measured(result))

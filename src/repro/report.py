@@ -33,7 +33,7 @@ from typing import List, Optional, Tuple
 
 import repro.experiments  # noqa: F401  (registers every declaration)
 from repro.experiments import framework
-from repro.sim.session import SimSession
+from repro.sim.session import FailurePolicy, SimSession
 
 _PAPER_ORDER = [
     "table1", "table2", "fig3", "table4", "table5", "fig6", "table6",
@@ -121,9 +121,17 @@ def _footer(plan: framework.Plan, elapsed: float) -> List[str]:
     line = (f"_{stats.experiments} experiments planned "
             f"{stats.planned_cells} cells -> {stats.unique_jobs} "
             f"unique jobs ({stats.deduplicated} deduplicated)")
-    if plan.batch is not None:
-        line += (f"; session computed {plan.batch.computed}, "
-                 f"served {plan.batch.cache_hits} from cache")
+    batch = plan.batch
+    if batch is not None:
+        line += (f"; session computed {batch.computed}, "
+                 f"served {batch.cache_hits} from cache")
+        if batch.failed or batch.retried or batch.timed_out:
+            line += (f"; {batch.failed} failed, {batch.retried} "
+                     f"retried, {batch.timed_out} timed out")
+    degraded = plan.degraded()
+    if degraded:
+        line += (f"; {len(degraded)} exhibit(s) DEGRADED "
+                 f"({', '.join(degraded)})")
     line += f"; wall time {elapsed:.1f}s._"
     return ["---", "", line, ""]
 
@@ -138,7 +146,16 @@ def generate_markdown(only: Optional[List[str]] = None,
     and ``SimSession(max_workers=N)`` parallelises the whole report.
     The rendered tables are byte-identical to the per-module ``main()``
     output either way.
+
+    The report runs under
+    :obj:`~repro.sim.session.FailurePolicy.KEEP_GOING` (when no
+    ``session`` is supplied): a permanently-failed cell marks its
+    exhibit DEGRADED -- every unaffected exhibit still renders -- and
+    completed cells are cached as they finish, so a rerun resumes
+    instead of recomputing.
     """
+    if session is None:
+        session = SimSession(failure_policy=FailurePolicy.KEEP_GOING)
     lines = [
         "# Reproduction report",
         "",
@@ -167,6 +184,11 @@ def generate_markdown(only: Optional[List[str]] = None,
             print(f"rendering {title}: {description}...", flush=True)
         lines.append(f"## {title} — {description}")
         lines.append("")
+        if framework.is_degraded(result):
+            lines.append("**DEGRADED** — some of this exhibit's cells "
+                         "failed permanently; the numbers below are "
+                         "the failure records, not results.")
+            lines.append("")
         lines.append("```")
         lines.append(framework.render_experiment(experiment, result))
         lines.append("```")

@@ -30,9 +30,14 @@ from repro.sim.registry import (
     setup_by_name,
 )
 from repro.sim.session import (
+    BatchStats,
+    FailurePolicy,
+    JobFailed,
+    JobFailure,
     SimJob,
     SimSession,
     get_default_session,
+    is_failure,
     job_token,
     register_job_type,
     set_default_session,
@@ -41,10 +46,15 @@ from repro.sim.session import (
 from repro.sim.stats import format_table, geometric_mean, mean
 
 __all__ = [
+    "BatchStats",
+    "FailurePolicy",
+    "JobFailed",
+    "JobFailure",
     "MitigationSetup",
     "SimJob",
     "SimSession",
     "available_setups",
+    "is_failure",
     "baseline_setup",
     "calibrated_workload",
     "format_table",

@@ -32,12 +32,12 @@ closure still works -- it just runs in-process and uncached.
 
 from __future__ import annotations
 
-import os
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple, Union
 
+from repro import _env
 from repro import obs as _obs
 from repro.core.config import MirzaConfig
 from repro.core.mirza import MirzaTracker
@@ -239,8 +239,12 @@ workload, so a caller mutating its copy can't corrupt later hits."""
 
 
 def _workload_cache_cap() -> int:
-    """Entry bound for the calibration cache (REPRO_WORKLOAD_CACHE)."""
-    return max(1, int(os.environ.get("REPRO_WORKLOAD_CACHE", "64")))
+    """Entry bound for the calibration cache (REPRO_WORKLOAD_CACHE).
+
+    A malformed value warns once and falls back to the default instead
+    of raising deep inside a sweep.
+    """
+    return _env.env_int("REPRO_WORKLOAD_CACHE", 64, minimum=1)
 
 
 def _resolve(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:

@@ -13,11 +13,21 @@ repository runs on.  It owns two things:
    ``~/.cache/repro``), so repeated invocations of the report or the
    benchmarks skip work they have already done.
 
-2. **A process-pool fan-out API.**  :meth:`SimSession.run_many`
-   dispatches independent jobs to worker processes and merges the
-   results back in submission order.  Every job is a pure function of
-   its content (traces are freshly seeded per run), so parallel output
-   is byte-identical to a serial run.
+2. **A fault-tolerant process-pool fan-out API.**
+   :meth:`SimSession.run_many` submits independent jobs to worker
+   processes as individual futures and merges the results back in
+   submission order.  Every job is a pure function of its content
+   (traces are freshly seeded per run), so parallel output is
+   byte-identical to a serial run -- and a *retried* job re-executes
+   the same pure content, so bounded retries never change results.
+   Completed results are stored (memory + disk) as they finish, a
+   crashed worker pool is rebuilt (falling back to serial in-process
+   execution if it keeps breaking), and a :class:`FailurePolicy`
+   decides whether a permanently-failed job raises (:obj:`FAIL_FAST`,
+   the library default) or yields a typed :class:`JobFailure` record
+   in its result slot (:obj:`KEEP_GOING`, what ``python -m repro
+   report`` uses so one poisoned cell degrades a report instead of
+   destroying it).
 
 The legacy entry points (:func:`repro.sim.runner.run_workload`,
 ``run_baseline``, ``slowdown_for``) are thin wrappers over a default
@@ -40,10 +50,15 @@ Example::
 from __future__ import annotations
 
 import dataclasses
+import enum
 import hashlib
 import json
 import os
+import warnings
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import (
     Any,
@@ -57,6 +72,7 @@ from typing import (
 )
 
 from repro import _profile
+from repro._env import env_float, env_int
 from repro.cpu.system import SimResult
 from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
@@ -81,22 +97,133 @@ _MISS = object()
 """Internal sentinel distinguishing 'no cached value' from any result."""
 
 
+# ----------------------------------------------------------------------
+# Failure semantics
+# ----------------------------------------------------------------------
+class FailurePolicy(enum.Enum):
+    """What :meth:`SimSession.run_many` does with a permanent failure.
+
+    ``FAIL_FAST`` (the library default) finishes harvesting the batch
+    -- storing every completed sibling result in the cache first, so a
+    rerun resumes from where this one died -- and then raises
+    :class:`JobFailed` for the first failed job.  ``KEEP_GOING``
+    returns a typed :class:`JobFailure` record in the failed job's
+    result slot instead, which is how the report renders every
+    unaffected exhibit and merely flags the degraded one.
+    """
+
+    FAIL_FAST = "fail_fast"
+    KEEP_GOING = "keep_going"
+
+    @classmethod
+    def coerce(cls, value: Union["FailurePolicy", str, None],
+               default: "FailurePolicy") -> "FailurePolicy":
+        """Accept a policy, its string value, or ``None`` (default)."""
+        if value is None:
+            return default
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).strip().lower().replace("-", "_"))
+
+
+@dataclasses.dataclass(frozen=True)
+class JobFailure:
+    """A permanently-failed job, as a value instead of an exception.
+
+    Under :obj:`FailurePolicy.KEEP_GOING` this record occupies the
+    failed job's slot in :meth:`SimSession.run_many`'s result list; use
+    :func:`is_failure` (or ``isinstance``) to tell it from a result.
+    ``attempts`` counts executions including retries, and ``timed_out``
+    marks a job that exceeded the per-job timeout rather than raising.
+    """
+
+    job: Any = dataclasses.field(compare=False)
+    token: Optional[str]
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool = False
+
+    def describe(self) -> str:
+        """One-line human-readable account of the failure."""
+        kind = "timed out" if self.timed_out else "failed"
+        return (f"{type(self.job).__name__} {kind} after "
+                f"{self.attempts} attempt(s): "
+                f"{self.error_type}: {self.message}")
+
+
+class JobFailed(RuntimeError):
+    """Raised by ``FAIL_FAST`` batches; carries the :class:`JobFailure`."""
+
+    def __init__(self, failure: JobFailure) -> None:
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+def is_failure(result: Any) -> bool:
+    """True when a result slot holds a :class:`JobFailure` record."""
+    return isinstance(result, JobFailure)
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic test-only fault raised by ``REPRO_FAULT_RATE``."""
+
+
+def fault_roll(job: Any) -> float:
+    """Deterministic uniform [0, 1) roll for one job's injected fault.
+
+    Derived from the job's content token (or ``repr`` for untokened
+    jobs) and ``REPRO_FAULT_SEED``, so the same batch faults the same
+    jobs in every process and on every rerun.
+    """
+    token = job_token(job) or repr(job)
+    seed = os.environ.get("REPRO_FAULT_SEED", "0")
+    digest = hashlib.sha256(
+        f"fault:{seed}:{token}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+def _maybe_inject_fault(job: Any, attempt: int) -> None:
+    """Test-only hook: fail a job's *first* attempt deterministically.
+
+    ``REPRO_FAULT_RATE=p`` makes a content-hash-selected fraction ``p``
+    of jobs raise :class:`InjectedFault` on attempt 0.  Faults are
+    transient by construction (retries always heal), so
+    ``--max-retries 0`` is what makes them permanent -- the CI smoke
+    job uses exactly that to exercise the DEGRADED report path.
+    """
+    rate = env_float("REPRO_FAULT_RATE", 0.0)
+    if rate <= 0.0 or attempt > 0:
+        return
+    if fault_roll(job) < rate:
+        raise InjectedFault(
+            f"injected fault (REPRO_FAULT_RATE={rate}) for "
+            f"{type(job).__name__}")
+
+
 @dataclasses.dataclass
 class BatchStats:
-    """Plan-level dedup statistics for one :meth:`SimSession.run_many`.
+    """Plan-level statistics for one :meth:`SimSession.run_many`.
 
     ``submitted`` counts the jobs handed to the batch, ``unique`` the
     distinct content tokens among them (plus any untokened jobs, which
     can never deduplicate), ``cache_hits`` the submitted jobs served
-    from a pre-batch cache, and ``computed`` the jobs actually
-    executed.  ``deduplicated`` is the work the batch *planned away*:
-    jobs whose content another job in the same batch already covers.
+    from a pre-batch cache, and ``computed`` the jobs that executed to
+    completion.  ``deduplicated`` is the work the batch *planned
+    away*: jobs whose content another job in the same batch already
+    covers.  The failure triple: ``failed`` counts jobs that ended as
+    :class:`JobFailure` records, ``retried`` the extra executions
+    spent on retries, and ``timed_out`` the per-job timeout expiries
+    (each of which also consumed an attempt).
     """
 
     submitted: int = 0
     unique: int = 0
     cache_hits: int = 0
     computed: int = 0
+    failed: int = 0
+    retried: int = 0
+    timed_out: int = 0
 
     @property
     def deduplicated(self) -> int:
@@ -247,13 +374,17 @@ def _execute(job: Any) -> Any:
     return job.execute()
 
 
+_FAULT_ENV_VARS = ("REPRO_FAULT_RATE", "REPRO_FAULT_SEED")
+
+
 def _pool_env_overrides() -> Dict[str, str]:
-    """Env vars that carry the parent's observability requests to
-    workers.
+    """Env vars that carry the parent's observability and
+    fault-injection requests to workers.
 
     A parent that enabled collection *programmatically* (an installed
     registry/buffer rather than an env knob) would otherwise fan out to
-    workers that collect nothing.
+    workers that collect nothing, and a spawn-start pool would miss
+    env vars set after interpreter start.
     """
     env: Dict[str, str] = {}
     if _obs_metrics.requested():
@@ -263,20 +394,27 @@ def _pool_env_overrides() -> Dict[str, str]:
         buffer = _obs_trace._ACTIVE
         if buffer is not None:
             env["REPRO_TRACE_LIMIT"] = str(buffer.limit)
+    for var in _FAULT_ENV_VARS:
+        value = os.environ.get(var)
+        if value:
+            env[var] = value
     return env
 
 
-def _execute_job(payload: Tuple[Any, Dict[str, str], bool]
+def _execute_job(payload: Tuple[Any, Dict[str, str], bool, int]
                  ) -> Tuple[Any, Optional[dict]]:
     """Pool entry point carrying observability/profiling context.
 
+    ``payload`` is ``(job, env overrides, want_profile, attempt)``;
+    the attempt number feeds the deterministic fault-injection hook.
     Returns ``(result, profile_dict)`` where ``profile_dict`` is the
     worker-side :class:`~repro._profile.KernelProfile` in dict form
     (``None`` unless the parent asked for profiling).
     """
-    job, env, want_profile = payload
+    job, env, want_profile, attempt = payload
     for key, value in env.items():
         os.environ[key] = value
+    _maybe_inject_fault(job, attempt)
     if not want_profile:
         return job.execute(), None
     with _profile.profiling() as prof:
@@ -295,6 +433,18 @@ def default_cache_dir() -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")
 
 
+class _Tally:
+    """Mutable per-batch failure bookkeeping shared by the exec paths."""
+
+    __slots__ = ("computed", "retried", "timed_out", "failures")
+
+    def __init__(self) -> None:
+        self.computed = 0
+        self.retried = 0
+        self.timed_out = 0
+        self.failures: Dict[str, JobFailure] = {}  # token -> failure
+
+
 class SimSession:
     """Owns result caching and parallel fan-out for simulation jobs.
 
@@ -310,14 +460,42 @@ class SimSession:
         library use stays memory-only.
     max_workers:
         Default process fan-out for :meth:`run_many`.  ``None`` falls
-        back to the ``REPRO_JOBS`` environment variable, then to 1
-        (serial).  Parallel runs produce byte-identical results to
-        serial ones; the knob only trades wall-clock for cores.
+        back to the ``REPRO_JOBS`` environment variable (``auto`` means
+        ``os.cpu_count()``), then to 1 (serial).  Parallel runs produce
+        byte-identical results to serial ones; the knob only trades
+        wall-clock for cores.
+    failure_policy:
+        Batch-wide default for what a permanently-failed job does:
+        :obj:`FailurePolicy.FAIL_FAST` raises :class:`JobFailed` after
+        storing every completed sibling, :obj:`FailurePolicy.KEEP_GOING`
+        yields a :class:`JobFailure` record in the result slot.
+        Strings (``"keep_going"``/``"keep-going"``) are accepted.
+    max_retries:
+        Bounded re-executions per failed job (retried jobs re-run the
+        same pure content, so results stay bit-identical).  ``None``
+        falls back to ``REPRO_MAX_RETRIES``, then 1.
+    job_timeout:
+        Per-job seconds budget when fanning out over worker processes
+        (``None`` -- the default, via ``REPRO_JOB_TIMEOUT`` -- means no
+        timeout).  A timed-out job consumes an attempt; the pool is
+        torn down and rebuilt so a wedged worker cannot hold the batch
+        hostage.  Serial in-process execution cannot be preempted and
+        ignores the timeout.
     """
+
+    _MAX_POOL_REBUILDS = 2
+    """Broken-pool rebuilds before falling back to serial in-process."""
+
+    _MAX_QUEUE_STALLS = 3
+    """Timeouts a *queued* (never-started) job may absorb before the
+    session treats the wait as a real per-job timeout."""
 
     def __init__(self, cache_dir: Optional[str] = None,
                  disk_cache: Optional[bool] = None,
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 failure_policy: Union[FailurePolicy, str, None] = None,
+                 max_retries: Optional[int] = None,
+                 job_timeout: Optional[float] = None) -> None:
         if disk_cache is None:
             disk_cache = (cache_dir is not None
                           or bool(os.environ.get("REPRO_CACHE_DIR")))
@@ -325,10 +503,16 @@ class SimSession:
             else default_cache_dir()
         self.disk_cache = bool(disk_cache)
         self.max_workers = max_workers
+        self.failure_policy = FailurePolicy.coerce(
+            failure_policy, FailurePolicy.FAIL_FAST)
+        self.max_retries = max_retries
+        self.job_timeout = job_timeout
         self._memory: Dict[str, Any] = {}
+        self._disk_disabled: set = set()  # job types degraded to memory
         self.stats: Dict[str, int] = {
             "memory_hits": 0, "disk_hits": 0, "misses": 0,
-            "planned": 0, "unique": 0, "baseline_dedup": 0}
+            "planned": 0, "unique": 0, "baseline_dedup": 0,
+            "failed": 0, "retried": 0, "timed_out": 0}
         self.last_batch: Optional[BatchStats] = None
 
     # -- public API ----------------------------------------------------
@@ -337,20 +521,37 @@ class SimSession:
         return self.run_many([job])[0]
 
     def run_many(self, jobs: Iterable[Any],
-                 max_workers: Optional[int] = None) -> List[Any]:
+                 max_workers: Optional[int] = None,
+                 policy: Union[FailurePolicy, str, None] = None,
+                 max_retries: Optional[int] = None,
+                 job_timeout: Optional[float] = None) -> List[Any]:
         """Run a batch of independent jobs; results in submission order.
 
         Cache hits are served without computing; distinct jobs with
         identical content are computed once.  With more than one worker
-        the cache misses fan out over a ``ProcessPoolExecutor``; the
-        merged output is identical to a serial run because every job is
-        a pure function of its content.
+        the cache misses fan out over per-job ``ProcessPoolExecutor``
+        futures; the merged output is identical to a serial run because
+        every job is a pure function of its content.
+
+        The batch is fault-tolerant: each job gets bounded retries
+        (``max_retries``) and, in the pool path, a per-job timeout
+        (``job_timeout`` seconds); completed results are stored in the
+        cache *as they finish*, so a crashed or killed batch resumes
+        from cache instead of from zero.  A broken worker pool
+        (``BrokenProcessPool`` -- e.g. an OOM-killed worker) is rebuilt
+        up to ``_MAX_POOL_REBUILDS`` times and then the remainder runs
+        serially in-process.  What a *permanent* failure does depends
+        on ``policy`` (argument > session default > ``FAIL_FAST``): see
+        :class:`FailurePolicy`.
         """
         jobs = [job.resolved() if hasattr(job, "resolved") else job
                 for job in jobs]
         tokens = [job_token(job) for job in jobs]
+        policy = FailurePolicy.coerce(policy, self.failure_policy)
+        retries = self._effective_retries(max_retries)
+        timeout = self._effective_timeout(job_timeout)
         results: List[Any] = [_MISS] * len(jobs)
-        pending: Dict[str, Any] = {}
+        pending: "OrderedDict[str, Any]" = OrderedDict()
         untokened: List[int] = []
         seen_tokens = set()
         hits = 0
@@ -367,40 +568,42 @@ class SimSession:
                 pending[token] = job
         unique = list(pending.items())
         workers = self._effective_workers(max_workers, len(unique))
+        tally = _Tally()
         if workers > 1 and len(unique) > 1:
-            env = _pool_env_overrides()
-            want_profile = _profile._ACTIVE is not None
-            payloads = [(job, env, want_profile) for _, job in unique]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                computed = []
-                for result, prof_dict in pool.map(_execute_job,
-                                                  payloads):
-                    if prof_dict is not None \
-                            and _profile._ACTIVE is not None:
-                        _profile._ACTIVE.merge(prof_dict)
-                    # A worker's collection scope merged into *its*
-                    # process's sinks; fold the shipped snapshot/events
-                    # into the parent's so pooled runs aggregate exactly
-                    # like serial in-process ones.
-                    self._absorb_observability(result)
-                    computed.append(result)
+            self._run_pool(unique, workers, retries, timeout, tally)
         else:
-            computed = [job.execute() for _, job in unique]
+            self._run_serial(unique, retries, tally)
+        for index in untokened:
+            results[index] = self._run_untokened(jobs[index], retries,
+                                                 tally)
         self.stats["misses"] += len(unique) + len(untokened)
+        untokened_failed = sum(
+            1 for index in untokened if is_failure(results[index]))
         self.last_batch = BatchStats(
             submitted=len(jobs),
             unique=len(seen_tokens) + len(untokened),
             cache_hits=hits,
-            computed=len(unique) + len(untokened))
+            computed=tally.computed,
+            failed=len(tally.failures) + untokened_failed,
+            retried=tally.retried,
+            timed_out=tally.timed_out)
         self.stats["planned"] += self.last_batch.submitted
         self.stats["unique"] += self.last_batch.unique
-        for (token, job), result in zip(unique, computed):
-            self._store(token, type(job), result)
+        self.stats["failed"] += self.last_batch.failed
+        self.stats["retried"] += self.last_batch.retried
+        self.stats["timed_out"] += self.last_batch.timed_out
+        self._publish_failure_metrics(self.last_batch)
         for index, token in enumerate(tokens):
-            if results[index] is _MISS and token is not None:
+            if results[index] is not _MISS or token is None:
+                continue
+            if token in self._memory:
                 results[index] = self._memory[token]
-        for index in untokened:
-            results[index] = jobs[index].execute()
+            else:
+                results[index] = tally.failures[token]
+        if policy is FailurePolicy.FAIL_FAST:
+            for result in results:
+                if is_failure(result):
+                    raise JobFailed(result)
         return results
 
     def slowdown(self, job: SimJob) -> Tuple[float, SimResult]:
@@ -408,7 +611,8 @@ class SimSession:
         return self.slowdowns([job])[0]
 
     def slowdowns(self, jobs: Iterable[SimJob],
-                  max_workers: Optional[int] = None
+                  max_workers: Optional[int] = None,
+                  policy: Union[FailurePolicy, str, None] = None
                   ) -> List[Tuple[float, SimResult]]:
         """Batched :meth:`slowdown`: one fan-out for the whole sweep.
 
@@ -418,6 +622,10 @@ class SimSession:
         protected jobs reference it -- the removed duplicates are
         tallied in ``stats["baseline_dedup"]``), and executed in the
         same process-pool batch as the protected runs.
+
+        Under ``KEEP_GOING`` a pair whose protected run *or* baseline
+        failed yields its :class:`JobFailure` record in place of the
+        ``(slowdown, result)`` tuple.
         """
         from repro.sim.runner import baseline_setup
         jobs = [job.resolved() for job in jobs]
@@ -437,14 +645,26 @@ class SimSession:
             baseline_of.append(index)
         self.stats["baseline_dedup"] += len(jobs) - len(baselines)
         results = self.run_many(baselines + jobs,
-                                max_workers=max_workers)
+                                max_workers=max_workers, policy=policy)
         count = len(baselines)
-        return [(protected.slowdown_pct(results[baseline_of[i]]),
-                 protected)
-                for i, protected in enumerate(results[count:])]
+        pairs: List[Tuple[float, SimResult]] = []
+        for i, protected in enumerate(results[count:]):
+            baseline = results[baseline_of[i]]
+            if is_failure(protected):
+                pairs.append(protected)
+            elif is_failure(baseline):
+                pairs.append(baseline)
+            else:
+                pairs.append((protected.slowdown_pct(baseline),
+                              protected))
+        return pairs
 
     def clear(self, memory: bool = True, disk: bool = False) -> None:
-        """Drop cached results (the in-memory map, optionally disk)."""
+        """Drop cached results (the in-memory map, optionally disk).
+
+        The disk sweep removes both ``*.json`` entries and any orphaned
+        ``*.tmp.<pid>`` files a crashed writer left behind.
+        """
         if memory:
             self._memory.clear()
         if disk and self.disk_cache and os.path.isdir(self.cache_dir):
@@ -453,21 +673,250 @@ class SimSession:
                 if len(shard) != 2 or not os.path.isdir(shard_dir):
                     continue
                 for name in os.listdir(shard_dir):
-                    if name.endswith(".json"):
+                    if name.endswith(".json") or ".json.tmp." in name:
                         try:
                             os.unlink(os.path.join(shard_dir, name))
                         except OSError:
                             pass
 
-    # -- internals -----------------------------------------------------
+    # -- execution internals -------------------------------------------
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        """Pool construction seam (tests substitute broken pools)."""
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def _failure_for(self, job: Any, token: Optional[str],
+                     error: Optional[BaseException], attempts: int,
+                     timed_out: bool = False) -> JobFailure:
+        if timed_out:
+            error_type = "TimeoutError"
+            message = "exceeded the per-job timeout"
+        else:
+            error_type = type(error).__name__
+            message = str(error)
+        return JobFailure(job=job, token=token, error_type=error_type,
+                          message=message, attempts=attempts,
+                          timed_out=timed_out)
+
+    def _complete(self, token: str, job: Any, result: Any,
+                  prof_dict: Optional[dict], tally: _Tally) -> None:
+        """Fold one finished pool job into the parent, cache included.
+
+        Results are stored *as they finish* -- not after the batch --
+        so a batch killed halfway resumes from cache on rerun.
+        """
+        if prof_dict is not None and _profile._ACTIVE is not None:
+            _profile._ACTIVE.merge(prof_dict)
+        # A worker's collection scope merged into *its* process's
+        # sinks; fold the shipped snapshot/events into the parent's so
+        # pooled runs aggregate exactly like serial in-process ones.
+        self._absorb_observability(result)
+        self._store(token, type(job), result)
+        tally.computed += 1
+
+    def _run_serial(self, items: List[Tuple[str, Any]], retries: int,
+                    tally: _Tally,
+                    attempts: Optional[Dict[str, int]] = None) -> None:
+        """In-process execution with retries (also the pool fallback)."""
+        for token, job in items:
+            attempt = attempts.get(token, 0) if attempts else 0
+            while True:
+                try:
+                    _maybe_inject_fault(job, attempt)
+                    result = job.execute()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as error:  # noqa: BLE001
+                    attempt += 1
+                    if attempt > retries:
+                        tally.failures[token] = self._failure_for(
+                            job, token, error, attempt)
+                        break
+                    tally.retried += 1
+                    continue
+                self._store(token, type(job), result)
+                tally.computed += 1
+                break
+
+    def _run_untokened(self, job: Any, retries: int,
+                       tally: _Tally) -> Any:
+        """Run one uncacheable job in-process; failures become records."""
+        attempt = 0
+        while True:
+            try:
+                _maybe_inject_fault(job, attempt)
+                return job.execute()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001
+                attempt += 1
+                if attempt > retries:
+                    return self._failure_for(job, None, error, attempt)
+                tally.retried += 1
+
+    def _run_pool(self, unique: List[Tuple[str, Any]], workers: int,
+                  retries: int, timeout: Optional[float],
+                  tally: _Tally) -> None:
+        """Per-job-future fan-out with retries, timeout, and recovery.
+
+        Each pending job is an individual ``submit()`` future harvested
+        in submission order.  A job that raises in its worker is
+        resubmitted (up to ``retries`` times) into the same pool; a
+        per-job timeout or a ``BrokenProcessPool`` tears the pool down
+        -- after draining every already-finished future into the cache
+        -- and rebuilds it for the remaining jobs.  A pool that keeps
+        breaking (``_MAX_POOL_REBUILDS``) degrades to serial in-process
+        execution of whatever is left.
+        """
+        env = _pool_env_overrides()
+        want_profile = _profile._ACTIVE is not None
+        pending: "OrderedDict[str, Any]" = OrderedDict(unique)
+        attempts: Dict[str, int] = {token: 0 for token, _ in unique}
+        stalls: Dict[str, int] = {}
+        breaks = 0
+        while pending:
+            pool = self._make_pool(workers)
+            abandon_pool = False
+
+            def submit(token: str):
+                job = pending[token]
+                return pool.submit(
+                    _execute_job,
+                    (job, env, want_profile, attempts[token]))
+
+            try:
+                queue = deque(
+                    (token, submit(token)) for token in pending)
+            except BrokenProcessPool:
+                queue = deque()
+                abandon_pool = True
+            try:
+                while queue:
+                    token, future = queue.popleft()
+                    job = pending[token]
+                    try:
+                        result, prof_dict = future.result(
+                            timeout=timeout)
+                    except FuturesTimeoutError:
+                        if future.cancel():
+                            # Never started: the pool is merely
+                            # saturated, so the wait was queue time,
+                            # not execution time.  Requeue without
+                            # consuming an attempt (bounded).
+                            stalls[token] = stalls.get(token, 0) + 1
+                            if stalls[token] <= self._MAX_QUEUE_STALLS:
+                                queue.append((token, submit(token)))
+                                continue
+                        attempts[token] += 1
+                        tally.timed_out += 1
+                        if attempts[token] > retries:
+                            tally.failures[token] = self._failure_for(
+                                job, token, None, attempts[token],
+                                timed_out=True)
+                            del pending[token]
+                        else:
+                            tally.retried += 1
+                        # The worker behind this future may be wedged;
+                        # abandon the pool so it cannot hold the batch.
+                        abandon_pool = True
+                        break
+                    except BrokenProcessPool:
+                        abandon_pool = True
+                        break
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as error:  # noqa: BLE001
+                        attempts[token] += 1
+                        if attempts[token] > retries:
+                            tally.failures[token] = self._failure_for(
+                                job, token, error, attempts[token])
+                            del pending[token]
+                        else:
+                            tally.retried += 1
+                            try:
+                                queue.append((token, submit(token)))
+                            except BrokenProcessPool:
+                                abandon_pool = True
+                                break
+                        continue
+                    self._complete(token, job, result, prof_dict,
+                                   tally)
+                    del pending[token]
+                if abandon_pool:
+                    # Keep every sibling that did finish: drain any
+                    # completed future before discarding the pool.
+                    for token, future in queue:
+                        if token not in pending or not future.done():
+                            continue
+                        try:
+                            result, prof_dict = future.result(timeout=0)
+                        except (KeyboardInterrupt, SystemExit):
+                            raise
+                        except BaseException:  # noqa: BLE001
+                            continue  # handled on the next pool
+                        self._complete(token, pending[token], result,
+                                       prof_dict, tally)
+                        del pending[token]
+            finally:
+                pool.shutdown(wait=not abandon_pool,
+                              cancel_futures=True)
+            if not pending:
+                return
+            if abandon_pool:
+                breaks += 1
+                if breaks > self._MAX_POOL_REBUILDS:
+                    # The pool keeps dying under us; finish what is
+                    # left serially in-process, where a raised
+                    # exception is at least catchable.
+                    items = list(pending.items())
+                    pending.clear()
+                    self._run_serial(items, retries, tally,
+                                     attempts=attempts)
+                    return
+
+    def _publish_failure_metrics(self, batch: BatchStats) -> None:
+        """Count batch failures into the active metrics registry."""
+        registry = _obs_metrics._ACTIVE
+        if registry is None:
+            return
+        if batch.failed:
+            registry.counter("session.jobs_failed").inc(batch.failed)
+        if batch.retried:
+            registry.counter("session.jobs_retried").inc(batch.retried)
+        if batch.timed_out:
+            registry.counter("session.jobs_timed_out").inc(
+                batch.timed_out)
+
+    # -- knob resolution -----------------------------------------------
     def _effective_workers(self, override: Optional[int],
                            pending_count: int) -> int:
-        """Resolve the worker count: arg > session > REPRO_JOBS > 1."""
+        """Resolve the worker count: arg > session > REPRO_JOBS > 1.
+
+        ``REPRO_JOBS=auto`` means ``os.cpu_count()``; a malformed value
+        warns once and falls back to 1 instead of crashing mid-sweep.
+        """
         workers = override if override is not None else self.max_workers
         if workers is None:
-            workers = int(os.environ.get("REPRO_JOBS", "1") or "1")
+            workers = env_int("REPRO_JOBS", 1, minimum=1,
+                              aliases={"auto": os.cpu_count() or 1})
         return max(1, min(int(workers), max(1, pending_count)))
 
+    def _effective_retries(self, override: Optional[int]) -> int:
+        """Resolve max retries: arg > session > REPRO_MAX_RETRIES > 1."""
+        retries = override if override is not None else self.max_retries
+        if retries is None:
+            retries = env_int("REPRO_MAX_RETRIES", 1, minimum=0)
+        return max(0, int(retries))
+
+    def _effective_timeout(self, override: Optional[float]
+                           ) -> Optional[float]:
+        """Resolve the per-job timeout: arg > session >
+        REPRO_JOB_TIMEOUT > none."""
+        timeout = override if override is not None else self.job_timeout
+        if timeout is None:
+            timeout = env_float("REPRO_JOB_TIMEOUT", 0.0, minimum=0.0)
+        return float(timeout) if timeout and timeout > 0 else None
+
+    # -- cache internals -----------------------------------------------
     def _lookup(self, token: str, job_type: type) -> Any:
         """Memory then disk lookup; returns ``_MISS`` when absent."""
         if token in self._memory:
@@ -505,8 +954,10 @@ class SimSession:
     def _store(self, token: str, job_type: type, result: Any) -> None:
         """Memoise a freshly-computed result (and persist if enabled)."""
         self._memory[token] = result
-        if self.disk_cache and job_type in _CODECS:
-            self._disk_write(token, _CODECS[job_type][0](result))
+        if self.disk_cache and job_type in _CODECS \
+                and job_type not in self._disk_disabled:
+            self._disk_write(token, _CODECS[job_type][0](result),
+                             job_type)
 
     def _entry_path(self, token: str) -> str:
         """Sharded cache path for one token."""
@@ -523,8 +974,18 @@ class SimSession:
             return None
         return entry.get("result")
 
-    def _disk_write(self, token: str, payload: Any) -> None:
-        """Atomically persist one cache entry (best-effort)."""
+    def _disk_write(self, token: str, payload: Any,
+                    job_type: Optional[type] = None) -> None:
+        """Atomically persist one cache entry (best-effort).
+
+        A payload ``json.dump`` cannot serialize (a codec bug, or an
+        extension job type returning live objects) must not crash the
+        run mid-batch: the ``TypeError``/``ValueError`` is swallowed
+        like an ``OSError``, the partial ``*.tmp.<pid>`` file is
+        unlinked, and -- since every result of that job type will fail
+        the same way -- the type degrades to memory-only caching with a
+        one-line warning.
+        """
         path = self._entry_path(token)
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
@@ -533,11 +994,18 @@ class SimSession:
                 json.dump({"format": CACHE_FORMAT, "result": payload},
                           handle)
             os.replace(tmp, path)
-        except OSError:
+        except (OSError, TypeError, ValueError) as error:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            if isinstance(error, (TypeError, ValueError)) \
+                    and job_type is not None:
+                self._disk_disabled.add(job_type)
+                warnings.warn(
+                    f"result of {job_type.__name__} is not "
+                    f"JSON-serializable ({error}); disk caching "
+                    f"disabled for this job type", stacklevel=2)
 
 
 # ----------------------------------------------------------------------

@@ -1,5 +1,8 @@
 """Tests for the declarative experiment framework and planner."""
 
+import dataclasses
+import math
+
 import pytest
 
 from repro.__main__ import main as cli_main
@@ -195,3 +198,101 @@ class TestCliExperiments:
         assert "Table VII" in text
         assert "Table X" in text
         assert "Figure 3" not in text
+
+
+@dataclasses.dataclass(frozen=True)
+class _BoomJob:
+    """A content-hashable cell job that always fails permanently."""
+
+    key: int
+
+    def execute(self):
+        raise RuntimeError("poisoned cell")
+
+
+class TestDegraded:
+    def _keep_going(self):
+        return SimSession(disk_cache=False,
+                          failure_policy="keep_going", max_retries=0)
+
+    def _poisoned(self, name="degraded-demo", **kwargs):
+        ok = SimJob("tc", prac_setup(1000), SimScale(4096))
+        return _demo(
+            name,
+            grid=lambda ctx: [Cell("ok", ok), Cell("bad", _BoomJob(1))],
+            reduce=lambda cells: "reduced",
+            **kwargs)
+
+    def test_failed_cell_degrades_only_its_experiment(self):
+        healthy = _demo("healthy-demo",
+                        grid=lambda ctx: [Cell(
+                            "ok", SimJob("tc", prac_setup(1000),
+                                         SimScale(4096)))],
+                        reduce=lambda cells: "fine")
+        plan = framework.plan([self._poisoned(), healthy], ctx=FAST,
+                              session=self._keep_going())
+        results = plan.execute()
+        degraded = results["degraded-demo"]
+        assert framework.is_degraded(degraded)
+        assert degraded.missing_cells == ("bad",)
+        assert degraded.failures[0].error_type == "RuntimeError"
+        assert results["healthy-demo"] == "fine"
+        assert plan.degraded() == ["degraded-demo"]
+
+    def test_degraded_summary_renders_instead_of_result(self):
+        exp = self._poisoned()
+        plan = framework.plan([exp], ctx=FAST,
+                              session=self._keep_going())
+        result = plan.execute()[exp.name]
+        rendered = framework.render_experiment(exp, result)
+        assert rendered == result.summary()
+        assert "DEGRADED" in rendered
+        assert "poisoned cell" in rendered
+
+    def test_degradation_propagates_through_needs(self):
+        dep = self._poisoned("degraded-dep")
+        framework.register_experiment(dep)
+        try:
+            dependent = _demo(
+                "dependent-demo",
+                grid=lambda ctx: (),
+                needs=("degraded-dep",),
+                reduce=lambda cells: cells.need("degraded-dep"))
+            plan = framework.plan([dependent], ctx=FAST,
+                                  session=self._keep_going())
+            results = plan.execute()
+            assert framework.is_degraded(results["dependent-demo"])
+            assert results["dependent-demo"].degraded_deps \
+                == ("degraded-dep",)
+            assert "dependency" in results["dependent-demo"].summary()
+        finally:
+            framework._REGISTRY.pop(
+                framework.canonical_name("degraded-dep"), None)
+
+    def test_degraded_checks_flag_without_numbers(self):
+        exp = self._poisoned(checks=(
+            framework.Check("value", 10.0, lambda r: r),))
+        result = framework.plan(
+            [exp], ctx=FAST,
+            session=self._keep_going()).execute()[exp.name]
+        dev, = framework.evaluate_checks(exp, result)
+        assert dev.flag == "DEGRADED"
+        assert math.isnan(dev.measured)
+        assert not dev.within
+
+    def test_degraded_without_checks_yields_synthetic_row(self):
+        exp = self._poisoned()
+        result = framework.plan(
+            [exp], ctx=FAST,
+            session=self._keep_going()).execute()[exp.name]
+        dev, = framework.evaluate_checks(exp, result)
+        assert dev.flag == "DEGRADED"
+        assert dev.label == "cells failed"
+
+    def test_fail_fast_session_aborts_the_plan(self):
+        from repro.sim.session import JobFailed
+        session = SimSession(disk_cache=False, max_retries=0)
+        plan = framework.plan([self._poisoned()], ctx=FAST,
+                              session=session)
+        with pytest.raises(JobFailed, match="poisoned cell"):
+            plan.execute()

@@ -122,3 +122,69 @@ class TestCliFlags:
                          "--jobs", "1", "--time-scale", "4096",
                          "--cgf-scale", "512"]) == 0
         assert "Table VII" in target.read_text()
+
+
+class TestFailurePolicyFlags:
+    def _session(self, argv):
+        from repro.__main__ import _build_parser, _session_for
+        return _session_for(_build_parser().parse_args(argv))
+
+    def test_report_defaults_to_keep_going(self):
+        from repro.sim.session import FailurePolicy
+        session = self._session(["report"])
+        assert session.failure_policy is FailurePolicy.KEEP_GOING
+
+    def test_other_commands_default_to_fail_fast(self):
+        from repro.sim.session import FailurePolicy
+        for argv in (["run", "table10"], ["stats", "table10"]):
+            session = self._session(argv)
+            assert session.failure_policy is FailurePolicy.FAIL_FAST
+
+    def test_explicit_flags_beat_the_command_default(self):
+        from repro.sim.session import FailurePolicy
+        assert self._session(["report", "--fail-fast"]) \
+            .failure_policy is FailurePolicy.FAIL_FAST
+        assert self._session(["run", "table10", "--keep-going"]) \
+            .failure_policy is FailurePolicy.KEEP_GOING
+
+    def test_keep_going_and_fail_fast_are_exclusive(self, capsys):
+        from repro.__main__ import _build_parser
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(
+                ["report", "--keep-going", "--fail-fast"])
+
+    def test_retry_and_timeout_flags_reach_the_session(self):
+        session = self._session(["report", "--max-retries", "3",
+                                 "--job-timeout", "2.5"])
+        assert session.max_retries == 3
+        assert session.job_timeout == 2.5
+
+    def test_fault_injected_report_degrades_then_resumes(
+            self, tmp_path, monkeypatch, capsys):
+        # The CI smoke scenario: injected faults with no retry budget
+        # degrade the report; a clean rerun resumes from the cells
+        # that were cached as they finished.
+        target = tmp_path / "report.md"
+        monkeypatch.setenv("REPRO_WORKLOADS", "tc")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "0")
+        import repro.report as report_module
+        monkeypatch.setattr(
+            report_module, "EXHIBITS",
+            [e for e in report_module.EXHIBITS
+             if e[0] == "Figure 11"])
+        common = ["report", str(target), "--only", "fig11",
+                  "--cache-dir", str(tmp_path / "cache"),
+                  "--time-scale", "4096", "--cgf-scale", "512"]
+        with monkeypatch.context() as patch:
+            patch.setenv("REPRO_FAULT_RATE", "0.4")
+            assert cli_main(common + ["--keep-going",
+                                      "--max-retries", "0"]) == 0
+        degraded_text = target.read_text()
+        assert "DEGRADED" in degraded_text
+        assert "exhibit(s) DEGRADED (fig11)" in degraded_text
+        # Clean rerun: the surviving cells come back from disk, the
+        # failed ones recompute, and nothing is degraded any more.
+        assert cli_main(common) == 0
+        clean_text = target.read_text()
+        assert "DEGRADED" not in clean_text
+        assert "from cache" in clean_text
