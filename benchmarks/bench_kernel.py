@@ -10,7 +10,15 @@ CI (and future optimization passes) can gate on throughput:
     PYTHONPATH=src python benchmarks/bench_kernel.py
     PYTHONPATH=src python benchmarks/bench_kernel.py --smoke
     PYTHONPATH=src python benchmarks/bench_kernel.py \
-        --check BENCH_kernel.json
+        --backends event,array --check BENCH_kernel.json
+
+``--backends`` benches each cell under every named kernel backend
+(see ``repro.sim.backend``).  The ``event`` backend keeps the plain
+``workload/setup`` keys; other backends append ``@<name>``
+(``tc/mirza-1000@array``), and whenever an event twin was benched in
+the same run the two cells' request/activation counts are
+cross-checked -- backends are bit-identical by contract, so a mismatch
+fails the run regardless of ``--check``.
 
 ``--check FILE`` compares against a previous run and exits non-zero
 when any setup's requests/sec regressed by more than ``--tolerance``
@@ -40,17 +48,22 @@ WORKLOADS = ("tc", "mcf")
 
 
 def bench_one(workload: str, setup_name: str, scale: SimScale,
-              seed: int, rounds: int) -> Dict[str, float]:
+              seed: int, rounds: int,
+              backend: str = "event") -> Dict[str, float]:
     """Best-of-``rounds`` serial simulate() timing for one cell."""
     setup = setup_by_name(setup_name)
     # Warm the calibration cache: simulate() reuses it, so the timed
     # region measures the kernel, not the calibration probes.
     calibrated_workload(workload, scale, seed)
+    # The event backend never passes the keyword, so this script also
+    # runs against library trees that predate simulate(backend=...) --
+    # CI's A/B step times the *base* tree with the *head* script.
+    kwargs = {} if backend == "event" else {"backend": backend}
     best = float("inf")
     result = None
     for _ in range(rounds):
         t0 = perf_counter()
-        result = simulate(workload, setup, scale, seed=seed)
+        result = simulate(workload, setup, scale, seed=seed, **kwargs)
         best = min(best, perf_counter() - t0)
     return {
         "seconds": round(best, 4),
@@ -61,19 +74,52 @@ def bench_one(workload: str, setup_name: str, scale: SimScale,
     }
 
 
+def cell_key(workload: str, setup_name: str, backend: str) -> str:
+    """Result key for one cell; non-event backends get an @ suffix."""
+    key = f"{workload}/{setup_name}"
+    return key if backend == "event" else f"{key}@{backend}"
+
+
 def run_suite(scale: SimScale, seed: int, rounds: int,
-              workloads: List[str]) -> Dict[str, Dict[str, float]]:
+              workloads: List[str],
+              backends: List[str]) -> Dict[str, Dict[str, float]]:
     results: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
         for setup_name in SETUPS:
-            key = f"{workload}/{setup_name}"
-            cell = bench_one(workload, setup_name, scale, seed, rounds)
-            results[key] = cell
-            print(f"{key:<24} {cell['seconds']:8.3f}s "
-                  f"{cell['requests_per_sec']:>12,.0f} req/s "
-                  f"{cell['activations_per_sec']:>12,.0f} act/s",
-                  file=sys.stderr)
+            for backend in backends:
+                key = cell_key(workload, setup_name, backend)
+                cell = bench_one(workload, setup_name, scale, seed,
+                                 rounds, backend)
+                results[key] = cell
+                print(f"{key:<30} {cell['seconds']:8.3f}s "
+                      f"{cell['requests_per_sec']:>12,.0f} req/s "
+                      f"{cell['activations_per_sec']:>12,.0f} act/s",
+                      file=sys.stderr)
     return results
+
+
+def check_backend_identity(results: Dict[str, Dict[str, float]]
+                           ) -> List[str]:
+    """Cross-check every ``key@backend`` cell against its event twin.
+
+    Kernel backends must be bit-identical; served requests and issued
+    activations are the cheapest observables to compare from a bench
+    cell (the test suite pins the full result-field set).
+    """
+    mismatches: List[str] = []
+    for key, cell in results.items():
+        if "@" not in key:
+            continue
+        twin = results.get(key.split("@", 1)[0])
+        if twin is None:
+            continue
+        if (cell["requests"], cell["activations"]) != (
+                twin["requests"], twin["activations"]):
+            mismatches.append(
+                f"{key}: requests/activations "
+                f"{cell['requests']}/{cell['activations']} != event "
+                f"twin {twin['requests']}/{twin['activations']}")
+    return mismatches
 
 
 def apply_reference(results: Dict[str, Dict[str, float]],
@@ -116,6 +162,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: 3)")
     parser.add_argument("--workloads", default=",".join(WORKLOADS),
                         metavar="A,B,...")
+    parser.add_argument("--backends", default="event",
+                        metavar="A,B,...",
+                        help="kernel backends to bench each cell under "
+                             "(default: event); non-event cells are "
+                             "keyed workload/setup@backend and "
+                             "cross-checked for bit-identity against "
+                             "their event twins")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny windows and one round -- seconds of "
                              "wall clock, for CI smoke checks")
@@ -133,14 +186,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     rounds = 2 if args.smoke else args.rounds
     scale = SimScale(time_scale)
     workloads = [w for w in args.workloads.split(",") if w]
+    backends = [b for b in args.backends.split(",") if b]
 
-    results = run_suite(scale, args.seed, rounds, workloads)
+    results = run_suite(scale, args.seed, rounds, workloads, backends)
+    mismatches = check_backend_identity(results)
     payload = {
         "meta": {
             "time_scale": time_scale,
             "seed": args.seed,
             "rounds": rounds,
             "smoke": args.smoke,
+            "backends": backends,
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
@@ -157,6 +213,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         handle.write("\n")
     print(f"wrote {args.output}", file=sys.stderr)
 
+    if mismatches:
+        print("BACKEND IDENTITY VIOLATION:", file=sys.stderr)
+        for line in mismatches:
+            print(f"  {line}", file=sys.stderr)
+        return 1
     if regressions:
         print("THROUGHPUT REGRESSION:", file=sys.stderr)
         for line in regressions:

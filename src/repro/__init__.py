@@ -15,7 +15,10 @@ Public API highlights
 - :mod:`repro.sim` -- run (workload x mitigation) simulations and
   measure slowdown, ALERT rate, and refresh-power overhead.  The
   :class:`repro.SimSession` object owns result caching and parallel
-  fan-out; :func:`repro.setup_by_name` names the paper's setups.
+  fan-out; :func:`repro.setup_by_name` names the paper's setups;
+  :func:`repro.simulate` is the uncached kernel underneath, and
+  :class:`repro.KernelBackend` (``event`` / ``array``, selected per
+  call or via ``REPRO_KERNEL_BACKEND``) chooses how it executes.
 - :mod:`repro.security` -- analytic safe-TRH models, the attack
   verification harness, and area/storage accounting.
 - :mod:`repro.workloads` -- Table IV workload generators and attack
@@ -49,19 +52,30 @@ from repro.params import (
     SystemConfig,
 )
 from repro.sim import (
+    KernelBackend,
     SimJob,
     SimSession,
+    available_backends,
     available_setups,
     setup_by_name,
+    simulate,
     using_session,
 )
+from repro.workloads import (
+    ALL_WORKLOADS,
+    WorkloadSource,
+    WorkloadSpec,
+    workload_by_name,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ALL_WORKLOADS",
     "AboTimings",
     "DramGeometry",
     "DramTimings",
+    "KernelBackend",
     "MintSampler",
     "MirzaConfig",
     "MirzaQueue",
@@ -73,8 +87,13 @@ __all__ = [
     "SimScale",
     "SimSession",
     "SystemConfig",
+    "WorkloadSource",
+    "WorkloadSpec",
+    "available_backends",
     "available_setups",
     "setup_by_name",
+    "simulate",
     "using_session",
+    "workload_by_name",
     "__version__",
 ]

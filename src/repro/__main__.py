@@ -22,7 +22,8 @@ for ``python -m repro run table7``).
 
 Every subcommand accepts the shared simulation flags (``--jobs``,
 ``--time-scale``, ``--cgf-scale``, ``--workloads``, ``--seed``,
-``--cache-dir``, ``--no-cache``, ``--profile``), the observability
+``--backend``, ``--cache-dir``, ``--no-cache``, ``--profile``), the
+observability
 flags (``--metrics``, ``--trace-out``, ``--trace-limit``; see
 ``docs/observability.md``), and the failure-handling flags
 (``--keep-going``/``--fail-fast``, ``--max-retries N``,
@@ -59,6 +60,7 @@ _ENV_FLAGS = [
     ("cgf_scale", "REPRO_CGF_SCALE"),
     ("workloads", "REPRO_WORKLOADS"),
     ("seed", "REPRO_SEED"),
+    ("backend", "REPRO_KERNEL_BACKEND"),
 ]
 
 
@@ -90,6 +92,11 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--seed", type=int, default=None, metavar="N",
             help="base RNG seed (default: REPRO_SEED or 0)")
+        p.add_argument(
+            "--backend", default=None, metavar="NAME",
+            help="kernel backend for every simulation: event or array "
+                 "(bit-identical; default: REPRO_KERNEL_BACKEND or "
+                 "event)")
         p.add_argument(
             "--cache-dir", default=None, metavar="DIR",
             help="persistent result-cache directory "

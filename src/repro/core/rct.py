@@ -29,7 +29,7 @@ have its two aggressors tracked by two different half-full counters.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.dram.refresh import RefreshSlice
 from repro.obs import metrics as _metrics
@@ -147,6 +147,44 @@ class RegionCountTable:
         if counter is not None:
             counter.value += 1
         return escaped
+
+    def on_activates(self, physical_rows: Sequence[int]) -> List[bool]:
+        """Record a run of ACTs; return each one's escape decision.
+
+        REF slices bound every deferred run, so the reset state machine
+        cannot advance mid-run; when no edge bumping applies and no SAFE
+        sweep is in flight, the filtering decision reduces to plain
+        per-region counters and the whole run is processed in one tight
+        loop.  Otherwise each ACT takes the full :meth:`on_activate`
+        path, preserving bit-identity in the exotic configurations.
+        """
+        if self._edge_possible or (self.reset_policy is ResetPolicy.SAFE
+                                   and self._refreshing_region is not None):
+            on_activate = self.on_activate
+            return [on_activate(p) for p in physical_rows]
+        counters = self._counters
+        fth = self.fth
+        size = self.region_size
+        out: List[bool] = []
+        append = out.append
+        escaped_n = 0
+        for physical_row in physical_rows:
+            region = physical_row // size
+            count = counters[region]
+            if count > fth:
+                append(True)
+                escaped_n += 1
+            else:
+                counters[region] = count + 1
+                append(False)
+        filtered_n = len(out) - escaped_n
+        self.escaped_acts += escaped_n
+        self.filtered_acts += filtered_n
+        counter = self._m_escaped
+        if counter is not None:
+            counter.value += escaped_n
+            self._m_filtered.value += filtered_n
+        return out
 
     # ------------------------------------------------------------------
     # Refresh-synchronised reset

@@ -45,6 +45,9 @@ class SimResult:
     """Metrics snapshot collected over the run (None when disabled)."""
     trace_events: Optional[list] = None
     """Structured trace events from the run (None when disabled)."""
+    backend: Optional[str] = None
+    """Kernel backend that produced this result (None = pre-backend
+    payloads; backends are bit-identical, so this is pure metadata)."""
 
     def weighted_speedup(self, baseline: "SimResult") -> float:
         """Sum of per-core IPC ratios against ``baseline`` (Section III)."""
@@ -134,6 +137,24 @@ class MultiCoreSystem:
         """Simulate ``window_ps`` picoseconds; return the measurements."""
         prof = _profile._ACTIVE
         t0 = perf_counter() if prof is not None else 0.0
+        self.drive(window_ps)
+        for mc in self.mcs:
+            mc.finish(window_ps)
+        if prof is not None:
+            prof.add_run(perf_counter() - t0, window_ps,
+                         sum(mc.total_requests for mc in self.mcs),
+                         sum(mc.total_activations for mc in self.mcs))
+        return self.collect(window_ps)
+
+    def drive(self, window_ps: int) -> None:
+        """Issue every in-window request (the heap loop of :meth:`run`).
+
+        Splitting the drive phase from :meth:`finish`-and-:meth:`collect`
+        lets kernel backends interpose between the last command and the
+        measurement pass (the array backend flushes its deferred device
+        bookkeeping there).
+        """
+        prof = _profile._ACTIVE
         heappush = heapq.heappush
         heappop = heapq.heappop
         cores = self.cores
@@ -172,16 +193,11 @@ class MultiCoreSystem:
             nxt = core.peek_issue_time()
             if nxt is not None:
                 heappush(heap, (nxt, core_id))
-        for mc in mcs:
-            mc.finish(window_ps)
         if prof is not None:
             prof.serve_s += serve_s
-            prof.add_run(perf_counter() - t0, window_ps,
-                         sum(mc.total_requests for mc in mcs),
-                         sum(mc.total_activations for mc in mcs))
-        return self._collect(window_ps)
 
-    def _collect(self, window_ps: int) -> SimResult:
+    def collect(self, window_ps: int) -> SimResult:
+        """Assemble the :class:`SimResult` from the driven system."""
         result = SimResult(window_ps=window_ps, config=self.config)
         cycle = self.config.core_cycle_ps
         for core in self.cores:

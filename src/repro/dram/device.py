@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro import _profile
 from repro.dram.bank import Bank
@@ -144,6 +144,37 @@ class DramDevice:
             prof.trackers_s += perf_counter() - t0
         self.stats.activations += 1
 
+    def apply_activations(self, bank_id: int, rows: Sequence[int],
+                          times: Sequence[int]) -> None:
+        """Apply a deferred run of ACTs to one bank in arrival order.
+
+        The array backend buffers ``activate`` calls between
+        timing-relevant events and lands them here in bulk; bank, oracle,
+        tracker, and stats end in exactly the state ``len(rows)``
+        individual :meth:`activate` calls would have produced.
+        """
+        self.banks[bank_id].activate_many(rows)
+        prof = _profile._ACTIVE
+        if prof is None:
+            self.trackers[bank_id].on_activates(rows, times)
+        else:
+            t0 = perf_counter()
+            self.trackers[bank_id].on_activates(rows, times)
+            prof.trackers_s += perf_counter() - t0
+        self.stats.activations += len(rows)
+
+    def drfm_mitigate(self, bank_id: int, aggressor_row: int) -> int:
+        """Mitigate one MC-sampled aggressor (DRFM); return victim count.
+
+        The controller's DRFM engine latches aggressors MC-side; the
+        actual victim refresh is device work, routed through here so
+        backends that defer device bookkeeping can interpose.
+        """
+        victims = self.banks[bank_id].mitigate(aggressor_row,
+                                               self.blast_radius)
+        self.stats.record_mitigation(MitigationSlotSource.RFM, victims)
+        return victims
+
     def note_row_press(self, bank_id: int, row: int,
                        equivalent_acts: int, now_ps: int) -> None:
         """Account extended row-open time as equivalent activations.
@@ -207,10 +238,11 @@ class DramDevice:
         if self._m_refs is not None:
             self._m_refs.value += 1
         trace = self._tr
-        # One membership-testable set shared by every bank's oracle: a
-        # slice covers thousands of rows, and per-row pops across all
-        # banks dominated the whole simulation before this.
-        swept = frozenset(slice_.logical_rows)
+        # One membership-testable set shared by every bank's oracle (and
+        # any tracker that wants it): a slice covers thousands of rows,
+        # and per-row pops across all banks dominated the whole
+        # simulation before this.
+        swept = slice_.row_set()
         for bank, tracker in zip(self.banks, self.trackers):
             bank.refresh_rows(swept)
             tracker.on_ref_slice(slice_, now_ps)

@@ -22,7 +22,7 @@ row number.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro.params import DramGeometry
 
@@ -107,9 +107,26 @@ class RowToSubarrayMapping:
         """Bank-local physical row index of logical row ``row``."""
         raise NotImplementedError
 
+    def physical_indices(self, rows: Sequence[int]) -> List[int]:
+        """Physical indices of a batch of logical rows.
+
+        Bulk twin of :meth:`physical_index` for the deferred-ACT paths;
+        subclasses override it with hoisted geometry lookups.
+        """
+        return [self.physical_index(r) for r in rows]
+
     def logical_row(self, physical: int) -> int:
         """Inverse of :meth:`physical_index`."""
         raise NotImplementedError
+
+    def logical_rows(self, start: int, end: int) -> List[int]:
+        """Logical rows of the physical index range ``[start, end)``.
+
+        The refresh scheduler sweeps contiguous physical ranges every
+        tREFI; subclasses override this with closed-form bulk
+        construction so the sweep does not pay a Python call per row.
+        """
+        return [self.logical_row(p) for p in range(start, end)]
 
     def subarray_of(self, row: int) -> int:
         """Subarray that logical row ``row`` physically lives in."""
@@ -155,8 +172,14 @@ class SequentialR2SA(RowToSubarrayMapping):
     def physical_index(self, row: int) -> int:
         return row
 
+    def physical_indices(self, rows: Sequence[int]) -> List[int]:
+        return list(rows)
+
     def logical_row(self, physical: int) -> int:
         return physical
+
+    def logical_rows(self, start: int, end: int) -> List[int]:
+        return list(range(start, end))
 
 
 class StridedR2SA(RowToSubarrayMapping):
@@ -174,8 +197,33 @@ class StridedR2SA(RowToSubarrayMapping):
         position = row // g.subarrays_per_bank
         return subarray * g.rows_per_subarray + position
 
+    def physical_indices(self, rows: Sequence[int]) -> List[int]:
+        g = self.geometry
+        num_sa = g.subarrays_per_bank
+        rows_per_sa = g.rows_per_subarray
+        return [(r % num_sa) * rows_per_sa + r // num_sa for r in rows]
+
     def logical_row(self, physical: int) -> int:
         g = self.geometry
         subarray = physical // g.rows_per_subarray
         position = physical % g.rows_per_subarray
         return position * g.subarrays_per_bank + subarray
+
+    def logical_rows(self, start: int, end: int) -> List[int]:
+        # Within one subarray the physical range is contiguous in
+        # `position`, so the logical rows form an arithmetic sequence
+        # with stride `subarrays_per_bank` -- build each segment with a
+        # C-speed range() instead of per-row divmod arithmetic.
+        g = self.geometry
+        rows_per_sa = g.rows_per_subarray
+        num_sa = g.subarrays_per_bank
+        out: List[int] = []
+        p = start
+        while p < end:
+            subarray, position = divmod(p, rows_per_sa)
+            seg_end = min(end, (subarray + 1) * rows_per_sa)
+            first = position * num_sa + subarray
+            out.extend(range(first, first + (seg_end - p) * num_sa,
+                             num_sa))
+            p = seg_end
+        return out

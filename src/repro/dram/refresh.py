@@ -48,6 +48,20 @@ class RefreshSlice:
     wraps_window: bool = False
     """True when this REF completes the sweep (RefPtr wraps to zero)."""
 
+    def row_set(self) -> frozenset:
+        """Membership-testable view of :attr:`logical_rows`, cached.
+
+        A slice covers thousands of rows and is consumed by every bank's
+        oracle plus several trackers; building the frozenset once per
+        slice (instead of per consumer) keeps refresh sweeps off the
+        profile.
+        """
+        cached = self.__dict__.get("_row_set")
+        if cached is None:
+            cached = frozenset(self.logical_rows)
+            object.__setattr__(self, "_row_set", cached)
+        return cached
+
 
 class RefreshScheduler:
     """Generates REF slices in physical sweep order, tracking RefPtr."""
@@ -86,7 +100,7 @@ class RefreshScheduler:
         rows_per_sa = self.geometry.rows_per_subarray
         subarray = min(start, self.geometry.rows_per_bank - 1) \
             // rows_per_sa
-        logical = [self.mapping.logical_row(p) for p in range(start, end)]
+        logical = self.mapping.logical_rows(start, end)
         return RefreshSlice(
             ref_index=ref_index,
             physical_start=start,

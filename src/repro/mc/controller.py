@@ -29,7 +29,6 @@ from typing import List, Optional, Tuple
 
 from repro.dram.device import DramDevice
 from repro.dram.timing import BankTiming, BusTracker, FawTracker
-from repro.mitigations.base import MitigationSlotSource
 from repro.mc.abo import AboEngine
 from repro.mc.drfm import DrfmEngine
 from repro.mc.rfm import RfmEngine
@@ -339,10 +338,7 @@ class MemoryController:
             self._open_row[bank_id] = None
             if self.log is not None:
                 self.log.record_rfm(start, end, bank_id)
-            victims = self.device.banks[bank_id].mitigate(
-                aggressor, self.device.blast_radius)
-            self.device.stats.record_mitigation(
-                MitigationSlotSource.RFM, victims)
+            self.device.drfm_mitigate(bank_id, aggressor)
 
     def _check_alert(self, now: int) -> None:
         """Run the ABO sequence if any tracker is requesting ALERT."""

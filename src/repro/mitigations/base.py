@@ -24,9 +24,12 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import List
+from typing import List, Sequence
 
 from repro.dram.refresh import RefreshSlice
+
+UNBOUNDED_SLACK = 1 << 60
+"""Sentinel slack for trackers that can never request an ALERT."""
 
 
 class MitigationSlotSource(enum.Enum):
@@ -48,12 +51,40 @@ class BankTracker(abc.ABC):
     def on_activate(self, row: int, now_ps: int) -> None:
         """Observe an activation of ``row`` at time ``now_ps``."""
 
+    def on_activates(self, rows: Sequence[int],
+                     times: Sequence[int]) -> None:
+        """Observe a run of activations (array-backend bulk path).
+
+        The default replays :meth:`on_activate` entry-at-a-time, so any
+        tracker is bulk-safe by construction; hot trackers override this
+        with a loop-free (or attribute-hoisted) equivalent that leaves
+        *identical* final state, metric counts, and RNG consumption.
+        """
+        on_activate = self.on_activate
+        for row, now_ps in zip(rows, times):
+            on_activate(row, now_ps)
+
     def wants_alert(self) -> bool:
         """True if the tracker needs the channel to assert ALERT now.
 
         Proactive trackers never request ALERT; the default is ``False``.
         """
         return False
+
+    def alert_slack(self) -> int:
+        """Lower bound on future ACTs before ``wants_alert`` can flip.
+
+        Returns ``k >= 1`` guaranteeing that :meth:`wants_alert` cannot
+        become True before this bank's *k*-th future :meth:`on_activate`
+        call; the array backend defers tracker updates and re-polls only
+        at that horizon.  Trackers that never alert should return
+        :data:`UNBOUNDED_SLACK`; the conservative default of 1
+        degenerates to the event backend's poll-every-ACT behaviour and
+        is always correct.
+        """
+        if type(self).wants_alert is BankTracker.wants_alert:
+            return UNBOUNDED_SLACK
+        return 1
 
     def on_mitigation_slot(self, now_ps: int,
                            source: MitigationSlotSource) -> List[int]:

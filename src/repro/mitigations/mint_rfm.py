@@ -16,7 +16,7 @@ TRHD = 4.8K.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.mint import MintSampler
 from repro.mitigations.base import BankTracker, MitigationSlotSource
@@ -56,6 +56,27 @@ class MintTracker(BankTracker):
             if reg is not None:
                 reg.counter("mint.dmq_drops").value += 1
         self._pending.append(row)
+
+    def on_activates(self, rows: Sequence[int],
+                     times: Sequence[int]) -> None:
+        """Bulk path: one sampler sweep, then replay the DMQ updates.
+
+        Selections interact with the DMQ only in arrival order (which
+        :meth:`MintSampler.observe_many` preserves), and mitigation
+        slots always flush the deferred run first, so the queue sees the
+        same sequence of events as entry-at-a-time observation.
+        """
+        if type(self).on_activate is not MintTracker.on_activate:
+            BankTracker.on_activates(self, rows, times)
+            return
+        for row in self.sampler.observe_many(rows):
+            if len(self._pending) >= self.dmq_entries:
+                self._pending.pop(0)
+                self.dropped_selections += 1
+                reg = _metrics._ACTIVE
+                if reg is not None:
+                    reg.counter("mint.dmq_drops").value += 1
+            self._pending.append(row)
 
     def on_mitigation_slot(self, now_ps: int,
                            source: MitigationSlotSource) -> List[int]:

@@ -8,8 +8,26 @@ cores and repeated runs are served from disk.
 :mod:`repro.sim.registry` names the paper's setups ("mirza-1000", ...)
 for CLIs and sweep scripts, and :mod:`repro.sim.stats` holds the small
 numeric/table helpers the experiment modules share.
+:mod:`repro.sim.backend` selects *how* the kernel under
+:func:`simulate` executes -- per-command (``event``) or chunked
+array-at-a-time (``array``), bit-identical by contract.
+
+The numeric helpers (``format_table``, ``geometric_mean``, ``mean``)
+are importable from here for backwards compatibility but deprecated at
+this level; import them from :mod:`repro.sim.stats`.
 """
 
+import warnings as _warnings
+
+from repro.sim.backend import (
+    ArrayBackend,
+    EventBackend,
+    KernelBackend,
+    available_backends,
+    backend_by_name,
+    register_backend,
+    resolve_backend,
+)
 from repro.sim.runner import (
     MitigationSetup,
     baseline_setup,
@@ -43,32 +61,34 @@ from repro.sim.session import (
     set_default_session,
     using_session,
 )
-from repro.sim.stats import format_table, geometric_mean, mean
-
 __all__ = [
+    "ArrayBackend",
     "BatchStats",
+    "EventBackend",
     "FailurePolicy",
     "JobFailed",
     "JobFailure",
+    "KernelBackend",
     "MitigationSetup",
     "SimJob",
     "SimSession",
+    "available_backends",
     "available_setups",
+    "backend_by_name",
     "is_failure",
     "baseline_setup",
     "calibrated_workload",
-    "format_table",
-    "geometric_mean",
     "get_default_session",
     "job_token",
-    "mean",
     "mint_rfm_setup",
     "mirza_setup",
     "mist_setup",
     "naive_mirza_setup",
     "prac_setup",
+    "register_backend",
     "register_job_type",
     "register_setup",
+    "resolve_backend",
     "run_baseline",
     "run_workload",
     "set_default_session",
@@ -77,3 +97,27 @@ __all__ = [
     "slowdown_for",
     "using_session",
 ]
+
+_DEPRECATED_STATS = ("format_table", "geometric_mean", "mean")
+_warned_stats: set = set()
+
+
+def __getattr__(name: str):
+    """Deprecation shim for the relocated numeric helpers.
+
+    ``repro.sim.{format_table,geometric_mean,mean}`` still resolve --
+    code written against the old flat surface keeps working -- but each
+    name warns once per process pointing at :mod:`repro.sim.stats`,
+    its canonical home.
+    """
+    if name in _DEPRECATED_STATS:
+        if name not in _warned_stats:
+            _warned_stats.add(name)
+            _warnings.warn(
+                f"importing {name!r} from repro.sim is deprecated; "
+                f"use repro.sim.stats.{name}",
+                DeprecationWarning, stacklevel=2)
+        from repro.sim import stats
+        return getattr(stats, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -40,6 +40,9 @@ from typing import Callable, Optional, Tuple, Union
 from repro import _env
 from repro import obs as _obs
 from repro.core.config import MirzaConfig
+from repro.obs import metrics as _metrics
+from repro.sim import backend as _backend
+from repro.sim.backend import KernelBackend
 from repro.core.mirza import MirzaTracker
 from repro.cpu.system import MultiCoreSystem, SimResult
 from repro.dram.mapping import (
@@ -308,7 +311,9 @@ def simulate(workload: Union[str, WorkloadSpec],
              setup: MitigationSetup,
              scale: SimScale = SimScale(64),
              seed: int = 0,
-             config: SystemConfig = SystemConfig()) -> SimResult:
+             config: SystemConfig = SystemConfig(),
+             backend: Union[str, "KernelBackend", None] = None
+             ) -> SimResult:
     """Simulate one scaled refresh window -- always fresh, never cached.
 
     This is the pure compute kernel underneath the session: a
@@ -316,6 +321,13 @@ def simulate(workload: Union[str, WorkloadSpec],
     path and the process-pool workers call.  Use :func:`run_workload`
     (or a :class:`~repro.sim.session.SimSession`) unless you
     specifically need to bypass result caching.
+
+    ``backend`` selects the kernel backend (see
+    :mod:`repro.sim.backend`): a registered name, a
+    :class:`~repro.sim.backend.KernelBackend` object, or ``None`` to
+    defer to ``REPRO_KERNEL_BACKEND`` (default ``event``).  Backends
+    are bit-identical by contract, so the choice never changes the
+    result -- only how fast it is produced.
 
     When observability is requested (an installed registry/trace buffer
     or the ``REPRO_METRICS`` / ``REPRO_TRACE`` knobs), collection is
@@ -358,13 +370,20 @@ def simulate(workload: Union[str, WorkloadSpec],
         )
 
     window = scale.scaled_trefw(config.timings)
+    kernel = _backend.resolve_backend(backend)
     collect_metrics = _obs.metrics_requested()
     collect_trace = _obs.trace_requested()
     if not (collect_metrics or collect_trace):
-        return build().run(window)
+        result = kernel.run(build(), window)
+        result.backend = kernel.name
+        return result
     with _obs.collecting(metrics=collect_metrics,
                          trace=collect_trace) as col:
-        result = build().run(window)
+        result = kernel.run(build(), window)
+        reg = _metrics._ACTIVE
+        if reg is not None:
+            reg.counter(f"sim.backend.{kernel.name}").value += 1
+    result.backend = kernel.name
     result.metrics = col.metrics_snapshot()
     result.trace_events = col.trace_events()
     return result

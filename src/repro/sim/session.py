@@ -74,6 +74,7 @@ from typing import (
 from repro import _profile
 from repro._env import env_float, env_int
 from repro.cpu.system import SimResult
+from repro.sim import backend as _backend_mod
 from repro.obs import metrics as _obs_metrics
 from repro.obs import trace as _obs_trace
 from repro.params import (
@@ -398,6 +399,13 @@ def _pool_env_overrides() -> Dict[str, str]:
         value = os.environ.get(var)
         if value:
             env[var] = value
+    # Kernel backend selection follows the same route: workers must run
+    # the same (bit-identical) kernel the parent would have, both so
+    # timing expectations hold and so serial/pool runs stay
+    # interchangeable in benchmarks.
+    backend = os.environ.get(_backend_mod.ENV_VAR)
+    if backend:
+        env[_backend_mod.ENV_VAR] = backend
     return env
 
 

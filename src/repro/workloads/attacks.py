@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
-from repro.cpu.trace import TraceEntry
+from repro.cpu.trace import ChunkSource, TraceEntry, chunk_entries
 from repro.dram.mapping import RowToSubarrayMapping
 from repro.params import SystemConfig, ns
 
@@ -109,6 +109,39 @@ def performance_attack_trace(config: SystemConfig,
     for row in itertools.cycle(rows):
         yield TraceEntry(compute_ps=compute, instructions=1,
                          subchannel=subchannel, bank=bank, row=row)
+
+
+class AttackWorkload:
+    """Adversarial trace factories as one WorkloadSource.
+
+    Assigns each attacking core its own trace-factory callable (for
+    example :func:`performance_attack_trace` wrapped in a lambda); cores
+    without an entry idle for the window.  This is how the Table XI
+    attacker-plus-victims experiments drive the full timing model
+    through the same :class:`repro.workloads.WorkloadSource` seam the
+    benign workloads use.
+    """
+
+    def __init__(self, per_core: Dict[
+            int, Callable[[], Iterable[TraceEntry]]],
+            mlp: int = 1) -> None:
+        self._per_core = dict(per_core)
+        self.mlp = mlp
+
+    def trace(self, core_id: int) -> Iterator[TraceEntry]:
+        """One core's attack trace (empty for non-attacking cores)."""
+        factory = self._per_core.get(core_id)
+        if factory is None:
+            return iter(())
+        return iter(factory())
+
+    def chunk_source(self, core_id: int) -> ChunkSource:
+        """The chunked trace wrapped for :class:`repro.cpu.core.Core`."""
+        return chunk_entries(self.trace(core_id))
+
+    def trace_factory(self) -> Callable[[int], ChunkSource]:
+        """``core_id -> trace`` callable for ``MultiCoreSystem``."""
+        return self.chunk_source
 
 
 def benign_striped_trace(config: SystemConfig,

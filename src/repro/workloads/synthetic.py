@@ -26,7 +26,7 @@ just as in the real system.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List
+from typing import Dict, Iterator, List, Tuple
 
 from repro.cpu.trace import ChunkSource, EntryTuple, TraceEntry
 from repro.params import SimScale, SystemConfig, ns
@@ -55,6 +55,8 @@ class SyntheticWorkload:
         self.hot_rows = hot_rows
         self.bank_stickiness = bank_stickiness
         self.seed = seed
+        self._base_cache: Dict[Tuple[int, int], int] = {}
+        self._hot_cache: Dict[Tuple[int, int], List[int]] = {}
         geometry = config.geometry
         window = scale.scaled_trefw(config.timings)
         acts_per_bank = scale.scale_count(spec.acts_per_bank_per_window)
@@ -86,15 +88,29 @@ class SyntheticWorkload:
         return (self.seed * 1_000_003 + salt * 8_191
                 + subchannel * 131 + bank + 1)
 
+    # Placement is a pure function of (seed, subchannel, bank) -- each
+    # call seeds a fresh RNG -- so results are memoized per instance:
+    # every core's trace asks for the same few hundred (subch, bank)
+    # placements and rng.sample() is expensive.
     def _bank_base(self, subchannel: int, bank: int) -> int:
-        rows = self.config.geometry.rows_per_bank
-        rng = random.Random(self._derived_seed(1, subchannel, bank))
-        return rng.randrange(0, rows - self.ws_rows)
+        key = (subchannel, bank)
+        base = self._base_cache.get(key)
+        if base is None:
+            rows = self.config.geometry.rows_per_bank
+            rng = random.Random(self._derived_seed(1, subchannel, bank))
+            base = rng.randrange(0, rows - self.ws_rows)
+            self._base_cache[key] = base
+        return base
 
     def _bank_hot_offsets(self, subchannel: int, bank: int) -> List[int]:
-        rng = random.Random(self._derived_seed(2, subchannel, bank))
-        count = min(self.hot_rows, self.ws_rows)
-        return rng.sample(range(self.ws_rows), count)
+        key = (subchannel, bank)
+        hot = self._hot_cache.get(key)
+        if hot is None:
+            rng = random.Random(self._derived_seed(2, subchannel, bank))
+            count = min(self.hot_rows, self.ws_rows)
+            hot = rng.sample(range(self.ws_rows), count)
+            self._hot_cache[key] = hot
+        return hot
 
     # ------------------------------------------------------------------
     # Trace generation

@@ -13,9 +13,11 @@ with ``#`` comments and blank lines ignored.  Round-trips exactly.
 from __future__ import annotations
 
 import io
-from typing import Iterable, Iterator, List, TextIO, Union
+from typing import Callable, Iterable, Iterator, List, Optional, \
+    TextIO, Union
 
-from repro.cpu.trace import TraceEntry
+from repro.cpu.trace import ChunkSource, TraceEntry, chunk_entries, \
+    cyclic
 
 _FIELDS = 5
 
@@ -80,3 +82,50 @@ def load_trace(source: Union[str, TextIO]) -> List[TraceEntry]:
 def trace_from_string(text: str) -> List[TraceEntry]:
     """Parse a trace from an in-memory string (tests, examples)."""
     return load_trace(io.StringIO(text))
+
+
+class TraceFileWorkload:
+    """A recorded trace as a :class:`repro.workloads.WorkloadSource`.
+
+    Wraps a trace file (or pre-loaded entries) so real miss traces plug
+    into :func:`repro.cpu.system.MultiCoreSystem` -- and any code
+    written against the :class:`~repro.workloads.WorkloadSource` seam
+    -- exactly like the synthetic generators do.
+
+    ``per_core`` maps each core to the entries whose ``subchannel``
+    matters to it; by default every core replays the whole trace
+    (single-program mode).  With ``cycle=True`` the trace repeats for
+    the full window instead of running dry.
+    """
+
+    def __init__(self, source: Union[str, TextIO, List[TraceEntry]],
+                 mlp: int = 8, cycle: bool = False,
+                 per_core: Optional[Callable[[int], List[TraceEntry]]]
+                 = None) -> None:
+        if isinstance(source, list):
+            self.entries = source
+        else:
+            self.entries = load_trace(source)
+        self.mlp = mlp
+        self.cycle = cycle
+        self._per_core = per_core
+
+    def _core_entries(self, core_id: int) -> List[TraceEntry]:
+        if self._per_core is not None:
+            return self._per_core(core_id)
+        return self.entries
+
+    def trace(self, core_id: int) -> Iterator[TraceEntry]:
+        """Entry-at-a-time view of one core's share of the trace."""
+        entries = self._core_entries(core_id)
+        if self.cycle and entries:
+            return cyclic(entries)
+        return iter(entries)
+
+    def chunk_source(self, core_id: int) -> ChunkSource:
+        """The chunked trace wrapped for :class:`repro.cpu.core.Core`."""
+        return chunk_entries(self.trace(core_id))
+
+    def trace_factory(self) -> Callable[[int], ChunkSource]:
+        """``core_id -> trace`` callable for ``MultiCoreSystem``."""
+        return self.chunk_source

@@ -82,6 +82,58 @@ class TestDocstrings:
         assert undocumented == []
 
 
+class TestCuratedSurface:
+    def test_backend_api_exported_at_top_level(self):
+        for name in ("simulate", "SimSession", "KernelBackend",
+                     "available_backends", "WorkloadSource",
+                     "workload_by_name", "ALL_WORKLOADS"):
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is not None
+
+    def test_sim_surface_exports_backends(self):
+        sim = importlib.import_module("repro.sim")
+        for name in ("KernelBackend", "EventBackend", "ArrayBackend",
+                     "available_backends", "register_backend",
+                     "resolve_backend", "simulate", "SimSession"):
+            assert name in sim.__all__, name
+
+    def test_workload_sources_satisfy_the_seam(self):
+        from repro.params import SimScale, SystemConfig
+        from repro.workloads import (
+            SyntheticWorkload,
+            TraceFileWorkload,
+            WorkloadSource,
+            workload_by_name,
+        )
+        synthetic = SyntheticWorkload(workload_by_name("tc"),
+                                      SystemConfig(), SimScale(2048))
+        assert isinstance(synthetic, WorkloadSource)
+        assert isinstance(TraceFileWorkload([]), WorkloadSource)
+
+    def test_deprecated_stats_shim_warns_once(self):
+        import warnings
+
+        import repro.sim as sim
+        from repro.sim import stats
+
+        sim._warned_stats.discard("geometric_mean")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = sim.geometric_mean
+            second = sim.geometric_mean
+        assert first is stats.geometric_mean
+        assert second is stats.geometric_mean
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.sim.stats" in str(deprecations[0].message)
+
+    def test_deprecated_names_not_in_curated_all(self):
+        sim = importlib.import_module("repro.sim")
+        for name in ("format_table", "geometric_mean", "mean"):
+            assert name not in sim.__all__
+
+
 class TestDeterminism:
     def test_mirza_tracker_runs_are_bit_identical(self):
         import random
