@@ -18,7 +18,9 @@ CI (and future optimization passes) can gate on throughput:
 (``tc/mirza-1000@array``), and whenever an event twin was benched in
 the same run the two cells' request/activation counts are
 cross-checked -- backends are bit-identical by contract, so a mismatch
-fails the run regardless of ``--check``.
+fails the run regardless of ``--check``.  Cells with an event twin are
+also stamped with ``speedup_vs_event`` (requests/sec ratio), and a
+per-cell summary table is printed at the end of the run.
 
 ``--check FILE`` compares against a previous run and exits non-zero
 when any setup's requests/sec regressed by more than ``--tolerance``
@@ -96,6 +98,37 @@ def run_suite(scale: SimScale, seed: int, rounds: int,
                       f"{cell['activations_per_sec']:>12,.0f} act/s",
                       file=sys.stderr)
     return results
+
+
+def annotate_speedups(results: Dict[str, Dict[str, float]]) -> None:
+    """Stamp each cell with ``speedup_vs_event`` (1.0 for event cells).
+
+    The ratio is requests/sec against the cell's event twin from the
+    same run; cells without a twin (event not benched) are left
+    unstamped.
+    """
+    for key, cell in results.items():
+        twin = results.get(key.split("@", 1)[0])
+        if twin is None or not twin.get("requests_per_sec"):
+            continue
+        cell["speedup_vs_event"] = round(
+            cell["requests_per_sec"] / twin["requests_per_sec"], 2)
+
+
+def print_speedup_table(results: Dict[str, Dict[str, float]]) -> None:
+    """End-of-run summary: one row per cell, speedup vs event twin."""
+    print("", file=sys.stderr)
+    header = (f"{'cell':<32} {'seconds':>9} {'req/s':>14} "
+              f"{'vs event':>9}")
+    print(header, file=sys.stderr)
+    print("-" * len(header), file=sys.stderr)
+    for key in sorted(results):
+        cell = results[key]
+        speedup = cell.get("speedup_vs_event")
+        vs_event = f"{speedup:.2f}x" if speedup is not None else "-"
+        print(f"{key:<32} {cell['seconds']:>8.3f}s "
+              f"{cell['requests_per_sec']:>14,.0f} {vs_event:>9}",
+              file=sys.stderr)
 
 
 def check_backend_identity(results: Dict[str, Dict[str, float]]
@@ -189,6 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     backends = [b for b in args.backends.split(",") if b]
 
     results = run_suite(scale, args.seed, rounds, workloads, backends)
+    annotate_speedups(results)
     mismatches = check_backend_identity(results)
     payload = {
         "meta": {
@@ -211,6 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    print_speedup_table(results)
     print(f"wrote {args.output}", file=sys.stderr)
 
     if mismatches:

@@ -94,9 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
             help="base RNG seed (default: REPRO_SEED or 0)")
         p.add_argument(
             "--backend", default=None, metavar="NAME",
-            help="kernel backend for every simulation: event or array "
-                 "(bit-identical; default: REPRO_KERNEL_BACKEND or "
-                 "event)")
+            help="kernel backend for every simulation: event, array, "
+                 "or vector (bit-identical; vector needs numpy>=1.24; "
+                 "default: REPRO_KERNEL_BACKEND or event)")
         p.add_argument(
             "--cache-dir", default=None, metavar="DIR",
             help="persistent result-cache directory "

@@ -79,7 +79,10 @@ class MintSampler:
         selections fall out, ``windows_completed`` advances identically,
         and exactly one ``randrange`` is drawn per completed window in
         the same sequence -- but window boundaries are skipped over
-        arithmetically instead of counted one ACT at a time.
+        arithmetically instead of counted one ACT at a time.  ``rows``
+        may be any indexable sequence, including a numpy array (the
+        closed-form sweep only measures and indexes it); selected rows
+        are returned as plain ints either way.
         """
         n = len(rows)
         if n == 0:
@@ -99,7 +102,7 @@ class MintSampler:
             if target >= pos:
                 idx = i + (target - pos)
                 if idx < n:
-                    picked.append(rows[idx])
+                    picked.append(int(rows[idx]))
             if remaining <= n - i:
                 i += remaining
                 pos = 0

@@ -24,6 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
 from repro.params import DramGeometry
 
 
@@ -115,6 +120,18 @@ class RowToSubarrayMapping:
         """
         return [self.physical_index(r) for r in rows]
 
+    def physical_indices_array(self, rows):
+        """Physical indices of a numpy row array (vector-kernel path).
+
+        ``rows`` is a 1-D integer ndarray; the result is an ndarray of
+        the same length.  The base implementation round-trips through
+        :meth:`physical_indices`; subclasses override it with
+        closed-form ufunc arithmetic so a whole deferred run maps in
+        one gather.
+        """
+        return _np.asarray(self.physical_indices(rows.tolist()),
+                           dtype=_np.int64)
+
     def logical_row(self, physical: int) -> int:
         """Inverse of :meth:`physical_index`."""
         raise NotImplementedError
@@ -127,6 +144,16 @@ class RowToSubarrayMapping:
         construction so the sweep does not pay a Python call per row.
         """
         return [self.logical_row(p) for p in range(start, end)]
+
+    def logical_rows_array(self, start: int, end: int):
+        """Logical rows of ``[start, end)`` as a numpy ``int64`` array.
+
+        Vector twin of :meth:`logical_rows`; the base implementation
+        converts the list form, subclasses compute the whole range
+        with ufunc arithmetic.
+        """
+        return _np.asarray(self.logical_rows(start, end),
+                           dtype=_np.int64)
 
     def subarray_of(self, row: int) -> int:
         """Subarray that logical row ``row`` physically lives in."""
@@ -175,11 +202,19 @@ class SequentialR2SA(RowToSubarrayMapping):
     def physical_indices(self, rows: Sequence[int]) -> List[int]:
         return list(rows)
 
+    def physical_indices_array(self, rows):
+        # Identity mapping: the input array *is* the answer.  Callers
+        # treat the result as read-only, so no copy is taken.
+        return rows
+
     def logical_row(self, physical: int) -> int:
         return physical
 
     def logical_rows(self, start: int, end: int) -> List[int]:
         return list(range(start, end))
+
+    def logical_rows_array(self, start: int, end: int):
+        return _np.arange(start, end, dtype=_np.int64)
 
 
 class StridedR2SA(RowToSubarrayMapping):
@@ -202,6 +237,11 @@ class StridedR2SA(RowToSubarrayMapping):
         num_sa = g.subarrays_per_bank
         rows_per_sa = g.rows_per_subarray
         return [(r % num_sa) * rows_per_sa + r // num_sa for r in rows]
+
+    def physical_indices_array(self, rows):
+        g = self.geometry
+        num_sa = g.subarrays_per_bank
+        return (rows % num_sa) * g.rows_per_subarray + rows // num_sa
 
     def logical_row(self, physical: int) -> int:
         g = self.geometry
@@ -227,3 +267,9 @@ class StridedR2SA(RowToSubarrayMapping):
                              num_sa))
             p = seg_end
         return out
+
+    def logical_rows_array(self, start: int, end: int):
+        g = self.geometry
+        physical = _np.arange(start, end, dtype=_np.int64)
+        return ((physical % g.rows_per_subarray) * g.subarrays_per_bank
+                + physical // g.rows_per_subarray)

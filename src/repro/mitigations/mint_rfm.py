@@ -42,20 +42,25 @@ class MintTracker(BankTracker):
         self._refs_seen = 0
         self.dropped_selections = 0
 
-    def on_activate(self, row: int, now_ps: int) -> None:
-        selected = self.sampler.observe(row)
-        if selected is None:
-            return
+    def _push(self, row: int) -> None:
+        """Queue a selection, evicting the oldest when the DMQ is full.
+
+        An evicted selection is lost; MINT's security model budgets for
+        refresh postponement, but a sustained overflow is a signal the
+        mitigation cadence is too slow for the window.
+        """
         if len(self._pending) >= self.dmq_entries:
-            # Oldest selection is lost; MINT's security model budgets for
-            # refresh postponement, but a sustained overflow is a signal
-            # the mitigation cadence is too slow for the window.
             self._pending.pop(0)
             self.dropped_selections += 1
             reg = _metrics._ACTIVE
             if reg is not None:
                 reg.counter("mint.dmq_drops").value += 1
         self._pending.append(row)
+
+    def on_activate(self, row: int, now_ps: int) -> None:
+        selected = self.sampler.observe(row)
+        if selected is not None:
+            self._push(row)
 
     def on_activates(self, rows: Sequence[int],
                      times: Sequence[int]) -> None:
@@ -70,13 +75,16 @@ class MintTracker(BankTracker):
             BankTracker.on_activates(self, rows, times)
             return
         for row in self.sampler.observe_many(rows):
-            if len(self._pending) >= self.dmq_entries:
-                self._pending.pop(0)
-                self.dropped_selections += 1
-                reg = _metrics._ACTIVE
-                if reg is not None:
-                    reg.counter("mint.dmq_drops").value += 1
-            self._pending.append(row)
+            self._push(row)
+
+    def on_activates_array(self, rows, times) -> None:
+        """Vector path: the sampler's closed-form sweep indexes the
+        numpy run directly; selections come back as plain ints."""
+        if type(self).on_activate is not MintTracker.on_activate:
+            BankTracker.on_activates_array(self, rows, times)
+            return
+        for row in self.sampler.observe_many(rows):
+            self._push(row)
 
     def on_mitigation_slot(self, now_ps: int,
                            source: MitigationSlotSource) -> List[int]:

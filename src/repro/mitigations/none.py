@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.mitigations.base import BankTracker
 
 
@@ -12,6 +14,14 @@ class NoMitigation(BankTracker):
 
     def on_activate(self, row: int, now_ps: int) -> None:
         pass
+
+    def on_activates(self, rows: Sequence[int],
+                     times: Sequence[int]) -> None:
+        """A whole run of nothing: skip the per-ACT replay loop."""
+
+    def on_activates_array(self, rows, times) -> None:
+        """Vector form of the same nothing (keeps baseline banks on
+        the array flush path of the vector kernel)."""
 
     def storage_bits(self) -> int:
         return 0

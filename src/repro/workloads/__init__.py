@@ -55,7 +55,14 @@ class WorkloadSource(Protocol):
     """Outstanding-miss budget the cores should run with."""
 
     def chunk_source(self, core_id: int) -> ChunkSource:
-        """The chunked miss trace for one core."""
+        """The chunked miss trace for one core.
+
+        The returned :class:`~repro.cpu.trace.ChunkSource` also exposes
+        ``next_chunk_array`` -- the same chunks as flat
+        :data:`~repro.cpu.trace.ENTRY_DTYPE` structured arrays -- for
+        vector-kernel consumers (a view change, never a different
+        trace).
+        """
         ...
 
     def trace_factory(self) -> Callable[[int], ChunkSource]:

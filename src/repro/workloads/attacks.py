@@ -136,7 +136,12 @@ class AttackWorkload:
         return iter(factory())
 
     def chunk_source(self, core_id: int) -> ChunkSource:
-        """The chunked trace wrapped for :class:`repro.cpu.core.Core`."""
+        """The chunked trace wrapped for :class:`repro.cpu.core.Core`.
+
+        Like every :class:`ChunkSource`, the result also serves the
+        chunks as structured arrays via ``next_chunk_array`` for the
+        vector kernel.
+        """
         return chunk_entries(self.trace(core_id))
 
     def trace_factory(self) -> Callable[[int], ChunkSource]:

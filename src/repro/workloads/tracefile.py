@@ -16,8 +16,8 @@ import io
 from typing import Callable, Iterable, Iterator, List, Optional, \
     TextIO, Union
 
-from repro.cpu.trace import ChunkSource, TraceEntry, chunk_entries, \
-    cyclic
+from repro.cpu.trace import ChunkSource, ENTRY_DTYPE, TraceEntry, \
+    chunk_entries, chunk_to_array, cyclic
 
 _FIELDS = 5
 
@@ -125,6 +125,21 @@ class TraceFileWorkload:
     def chunk_source(self, core_id: int) -> ChunkSource:
         """The chunked trace wrapped for :class:`repro.cpu.core.Core`."""
         return chunk_entries(self.trace(core_id))
+
+    def entries_array(self):
+        """The whole (non-cycled) trace as one structured array.
+
+        An :data:`~repro.cpu.trace.ENTRY_DTYPE` view of
+        :attr:`entries`, for vector-kernel consumers and offline
+        analysis; the entry list remains the source of truth.
+        """
+        if ENTRY_DTYPE is None:
+            raise ImportError(
+                "entries_array() needs numpy; install it or use "
+                ".entries")
+        return chunk_to_array(
+            [(e.compute_ps, e.instructions, e.subchannel, e.bank, e.row)
+             for e in self.entries])
 
     def trace_factory(self) -> Callable[[int], ChunkSource]:
         """``core_id -> trace`` callable for ``MultiCoreSystem``."""

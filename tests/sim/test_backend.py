@@ -1,11 +1,12 @@
-"""Kernel-backend API tests and the event/array bit-identity gate.
+"""Kernel-backend API tests and the event/array/vector identity gate.
 
-The array backend's entire value proposition is "same bits, less
+The fast backends' entire value proposition is "same bits, less
 time", so the core of this module is a parametrized sweep: every
 mitigation family in the repository runs the same (workload, scale,
-seed) window under both backends and the observable result fields must
-match exactly.  The registry/env/CLI plumbing and the serial-vs-pool
-equivalence under ``backend="array"`` are covered around it.
+seed) window under the event backend and each fast backend, and the
+observable result fields must match exactly.  The registry/env/CLI
+plumbing and the serial-vs-pool equivalence under the fast backends
+are covered around it.
 """
 
 from __future__ import annotations
@@ -21,10 +22,12 @@ from repro.sim.backend import (
     ArrayBackend,
     EventBackend,
     KernelBackend,
+    VectorBackend,
     available_backends,
     backend_by_name,
     default_backend_name,
     resolve_backend,
+    vector_available,
 )
 from repro.sim.runner import (
     MitigationSetup,
@@ -41,14 +44,23 @@ from repro.sim.runner import (
 SCALE = SimScale(2048)
 SEED = 0
 
+FAST_BACKENDS = [
+    "array",
+    pytest.param("vector", marks=pytest.mark.skipif(
+        not vector_available(),
+        reason="vector backend needs numpy>=1.24")),
+]
+"""The backends that must be bit-identical to ``event``."""
+
 
 # ----------------------------------------------------------------------
 # Registry / selection API
 # ----------------------------------------------------------------------
 def test_builtin_backends_registered():
-    assert available_backends() == ["array", "event"]
+    assert available_backends() == ["array", "event", "vector"]
     assert isinstance(backend_by_name("event"), EventBackend)
     assert isinstance(backend_by_name("array"), ArrayBackend)
+    assert isinstance(backend_by_name("vector"), VectorBackend)
 
 
 def test_backends_satisfy_protocol():
@@ -59,6 +71,17 @@ def test_backends_satisfy_protocol():
 def test_unknown_backend_lists_known_names():
     with pytest.raises(KeyError, match="array"):
         backend_by_name("vectorised")
+
+
+def test_vector_backend_unavailable_raises_clear_error(monkeypatch):
+    """The vector backend stays registered but refuses to run when the
+    numpy fast paths are unavailable (here: force-disabled)."""
+    monkeypatch.setenv(backend_mod.DISABLE_ENV_VAR, "1")
+    assert not vector_available()
+    assert "vector" in available_backends()
+    with pytest.raises(ImportError, match="numpy>=1.24"):
+        simulate("tc", baseline_setup(), SimScale(8192), seed=SEED,
+                 backend="vector")
 
 
 def test_register_backend_rejects_duplicates():
@@ -182,17 +205,33 @@ def _observed(result) -> dict:
     }
 
 
+_EVENT_RESULTS: dict = {}
+"""Per-mitigation event-backend observables, computed once and shared
+by every fast backend's identity check."""
+
+
+def _event_observed(name: str) -> dict:
+    cached = _EVENT_RESULTS.get(name)
+    if cached is None:
+        setup = MITIGATIONS[name]()
+        cached = _observed(
+            simulate("tc", setup, SCALE, seed=SEED, backend="event"))
+        _EVENT_RESULTS[name] = cached
+    return cached
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
 @pytest.mark.parametrize("name", sorted(MITIGATIONS), ids=lambda v: v)
-def test_array_backend_bit_identical(name: str) -> None:
-    setup = MITIGATIONS[name]()
-    event = simulate("tc", setup, SCALE, seed=SEED, backend="event")
+def test_fast_backend_bit_identical(name: str, backend: str) -> None:
+    event = _event_observed(name)
     setup = MITIGATIONS[name]()  # fresh factories, fresh RNG state
-    array = simulate("tc", setup, SCALE, seed=SEED, backend="array")
-    assert _observed(event) == _observed(array), (
-        f"{name}: array backend diverged from the event backend")
+    fast = simulate("tc", setup, SCALE, seed=SEED, backend=backend)
+    assert event == _observed(fast), (
+        f"{name}: {backend} backend diverged from the event backend")
 
 
-def test_array_backend_identical_under_attack_pressure() -> None:
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+def test_fast_backend_identical_under_attack_pressure(backend) -> None:
     """A hammering workload forces real ALERT/RFM traffic through the
     deferral machinery (the benign 'tc' cells above barely alert)."""
     from repro.cpu.trace import TraceEntry
@@ -225,19 +264,20 @@ def test_array_backend_identical_under_attack_pressure() -> None:
 
     window = SCALE.scaled_trefw(SystemConfig().timings)
     event = EventBackend().run(build(), window)
-    array = ArrayBackend().run(build(), window)
-    assert array.alerts != [0, 0] or array.mitigations > 0, (
+    fast = backend_by_name(backend).run(build(), window)
+    assert fast.alerts != [0, 0] or fast.mitigations > 0, (
         "attack failed to exercise the ALERT path; strengthen it")
-    assert _observed(event) == _observed(array)
+    assert _observed(event) == _observed(fast)
 
 
 # ----------------------------------------------------------------------
-# Serial vs pool under the array backend
+# Serial vs pool under the fast backends
 # ----------------------------------------------------------------------
-def test_array_backend_serial_vs_pool_identical(monkeypatch):
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+def test_fast_backend_serial_vs_pool_identical(monkeypatch, backend):
     from repro.sim.session import SimJob, SimSession
 
-    monkeypatch.setenv(backend_mod.ENV_VAR, "array")
+    monkeypatch.setenv(backend_mod.ENV_VAR, backend)
     scale = SimScale(4096)
     jobs = [SimJob("tc", prac_setup(1000), scale, SEED),
             SimJob("mcf", mirza_setup(1000, scale), scale, SEED)]
@@ -245,5 +285,5 @@ def test_array_backend_serial_vs_pool_identical(monkeypatch):
     pooled = SimSession(disk_cache=False, max_workers=2).run_many(jobs)
     for s, p in zip(serial, pooled):
         assert _observed(s) == _observed(p)
-        assert s.backend == "array"
-        assert p.backend == "array"
+        assert s.backend == backend
+        assert p.backend == backend

@@ -1,0 +1,335 @@
+"""Seeded randomized equivalence of every vectorized bulk path.
+
+Each test drives identical random ACT streams through the per-event
+loop of a component and through its numpy bulk path and demands exact
+state equality -- the unit-level half of the vector backend's
+bit-identity contract (the system-level half is the 13-mitigation
+sweep in ``test_backend.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.backend import vector_available
+
+pytestmark = pytest.mark.skipif(
+    not vector_available(),
+    reason="vector fast paths need numpy>=1.24")
+
+np = pytest.importorskip("numpy")
+
+from repro.core.mint import MintSampler               # noqa: E402
+from repro.core.mirza import MirzaTracker             # noqa: E402
+from repro.core.config import MirzaConfig             # noqa: E402
+from repro.core.rct import RegionCountTable, ResetPolicy  # noqa: E402
+from repro.cpu.trace import chunk_entries             # noqa: E402
+from repro.dram.bank import Bank, RowActivationOracle  # noqa: E402
+from repro.dram.mapping import SequentialR2SA, StridedR2SA  # noqa: E402
+from repro.dram.refresh import RefreshSlice           # noqa: E402
+from repro.mitigations.base import MitigationSlotSource  # noqa: E402
+from repro.mitigations.mint_rfm import MintTracker    # noqa: E402
+from repro.mitigations.prac import PracTracker        # noqa: E402
+from repro.params import DramGeometry                 # noqa: E402
+
+
+def _random_runs(seed: int, runs: int, run_len, row_space: int,
+                 hot_rows: int = 8, hot_fraction: float = 0.6):
+    """Random ACT runs mixing a hot set (attack-like) with cold rows."""
+    rng = random.Random(seed)
+    hot = [rng.randrange(row_space) for _ in range(hot_rows)]
+    out = []
+    for _ in range(runs):
+        n = run_len if isinstance(run_len, int) \
+            else rng.randrange(*run_len)
+        run = [hot[rng.randrange(hot_rows)]
+               if rng.random() < hot_fraction
+               else rng.randrange(row_space)
+               for _ in range(n)]
+        out.append(run)
+    return out
+
+
+# ----------------------------------------------------------------------
+# PRAC counters
+# ----------------------------------------------------------------------
+def _prac_state(t: PracTracker):
+    return (t._counters, t._over_threshold, t._max_count,
+            t.alert_slack(), t.wants_alert())
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_prac_array_path_matches_scalar(seed):
+    scalar = PracTracker(200)
+    vector = PracTracker(200)
+    for i, run in enumerate(_random_runs(seed, 12, (1, 400), 512)):
+        for row in run:
+            scalar.on_activate(row, now_ps=0)
+        vector.on_activates_array(
+            np.asarray(run, dtype=np.int64),
+            np.zeros(len(run), dtype=np.int64))
+        assert _prac_state(scalar) == _prac_state(vector)
+        # Interleave the mitigation/REF events that reset counters.
+        if i % 3 == 0:
+            assert (scalar.on_mitigation_slot(
+                        0, MitigationSlotSource.ALERT)
+                    == vector.on_mitigation_slot(
+                        0, MitigationSlotSource.ALERT))
+        if i % 4 == 0:
+            slice_ = RefreshSlice(ref_index=i, physical_start=0,
+                                  physical_end=64,
+                                  logical_rows=list(range(64)))
+            scalar.on_ref_slice(slice_, now_ps=0)
+            vector.on_ref_slice(slice_, now_ps=0)
+        assert _prac_state(scalar) == _prac_state(vector)
+
+
+# ----------------------------------------------------------------------
+# MINT sampler
+# ----------------------------------------------------------------------
+def _sampler_state(s: MintSampler):
+    return (s._position, s._target, s.windows_completed, s.observed,
+            s.selected)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_mint_observe_many_matches_observe_on_arrays(seed):
+    scalar = MintSampler(48, rng=random.Random(seed))
+    vector = MintSampler(48, rng=random.Random(seed))
+    for run in _random_runs(seed, 20, (1, 200), 4096):
+        expected = [r for r in run if scalar.observe(r) is not None]
+        got = vector.observe_many(np.asarray(run, dtype=np.int64))
+        assert got == expected
+        assert all(type(r) is int for r in got)
+        assert _sampler_state(scalar) == _sampler_state(vector)
+
+
+# ----------------------------------------------------------------------
+# RCT escape decisions
+# ----------------------------------------------------------------------
+def _rct_state(t: RegionCountTable):
+    return (t._counters, t._rrc, t._refreshing_region,
+            t.filtered_acts, t.escaped_acts)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_rct_array_path_matches_scalar(seed):
+    geometry = DramGeometry()
+    scalar = RegionCountTable(128, 32, geometry)
+    vector = RegionCountTable(128, 32, geometry)
+    rows_per_bank = geometry.rows_per_bank
+    for run in _random_runs(seed, 12, (1, 500), rows_per_bank):
+        expected = scalar.on_activates(run)
+        got = vector.on_activates_array(np.asarray(run, dtype=np.int64))
+        assert got is not None
+        assert got.tolist() == expected
+        assert _rct_state(scalar) == _rct_state(vector)
+
+
+def test_rct_array_path_declines_edge_configs():
+    """Sub-subarray regions need edge bumping: the vector path must
+    signal fallback without touching any state."""
+    geometry = DramGeometry()
+    assert geometry.rows_per_bank // 256 < geometry.rows_per_subarray
+    rct = RegionCountTable(256, 32, geometry)
+    before = _rct_state(rct)
+    assert rct.on_activates_array(
+        np.asarray([1, 2, 3], dtype=np.int64)) is None
+    assert _rct_state(rct) == before
+
+
+def test_rct_array_path_declines_safe_sweep_in_flight():
+    geometry = DramGeometry()
+    rct = RegionCountTable(128, 32, geometry,
+                           reset_policy=ResetPolicy.SAFE)
+    # A slice that begins (but does not finish) region 0's sweep.
+    rct.on_ref_slice(RefreshSlice(ref_index=0, physical_start=0,
+                                  physical_end=10,
+                                  logical_rows=list(range(10))))
+    assert rct._refreshing_region == 0
+    before = _rct_state(rct)
+    assert rct.on_activates_array(
+        np.asarray([1, 2, 3], dtype=np.int64)) is None
+    assert _rct_state(rct) == before
+
+
+# ----------------------------------------------------------------------
+# Row-to-subarray mappings and refresh slices
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mapping_cls", [SequentialR2SA, StridedR2SA])
+def test_mapping_array_views_match_scalar(mapping_cls):
+    geometry = DramGeometry()
+    mapping = mapping_cls(geometry)
+    rng = random.Random(3)
+    rows = [rng.randrange(geometry.rows_per_bank) for _ in range(500)]
+    arr = np.asarray(rows, dtype=np.int64)
+    assert (mapping.physical_indices_array(arr).tolist()
+            == mapping.physical_indices(rows))
+    start, end = 8192, 8192 + 1024
+    assert (mapping.logical_rows_array(start, end).tolist()
+            == mapping.logical_rows(start, end))
+
+
+def test_refresh_slice_row_array_matches_logical_rows():
+    slice_ = RefreshSlice(ref_index=0, physical_start=0, physical_end=8,
+                          logical_rows=[5, 1, 9, 2, 5, 0, 7, 3])
+    assert slice_.row_array().tolist() == slice_.logical_rows
+    assert slice_.row_array() is slice_.row_array()  # cached
+
+
+# ----------------------------------------------------------------------
+# Oracle (and Bank bulk activate)
+# ----------------------------------------------------------------------
+def _oracle_state(o: RowActivationOracle):
+    return (o._counts, o.max_unmitigated, o.max_row)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_oracle_array_path_matches_scalar(seed):
+    scalar = RowActivationOracle()
+    vector = RowActivationOracle()
+    for i, run in enumerate(_random_runs(seed, 12, (1, 300), 256)):
+        scalar.on_activates(run)
+        vector.on_activates_array(np.asarray(run, dtype=np.int64))
+        assert _oracle_state(scalar) == _oracle_state(vector)
+        if i % 3 == 0:
+            swept = frozenset(range(0, 128))
+            scalar.on_rows_refreshed(swept)
+            vector.on_rows_refreshed(swept)
+            assert _oracle_state(scalar) == _oracle_state(vector)
+
+
+def test_oracle_array_path_max_row_tie_breaks_by_arrival():
+    """Rows 1 and 2 both finish at count 2; row 1 got there first."""
+    scalar = RowActivationOracle()
+    vector = RowActivationOracle()
+    rows = [1, 1, 2, 2, 1, 2]  # counts: 1->3, 2->3; 1 reaches 2 first
+    scalar.on_activates(rows)
+    vector.on_activates_array(np.asarray(rows, dtype=np.int64))
+    assert _oracle_state(scalar) == _oracle_state(vector)
+    assert vector.max_row == scalar.max_row
+
+
+def test_bank_activate_many_array_matches_scalar():
+    scalar = Bank(0)
+    vector = Bank(0)
+    rows = [7, 7, 9, 7, 12, 9]
+    scalar.activate_many(rows)
+    vector.activate_many_array(np.asarray(rows, dtype=np.int64))
+    assert scalar.open_row == vector.open_row == 9
+    assert type(vector.open_row) is int
+    assert scalar.total_activations == vector.total_activations
+    assert _oracle_state(scalar.oracle) == _oracle_state(vector.oracle)
+
+
+def test_bank_activate_many_array_validates_eagerly():
+    bank = Bank(0)
+    bad = np.asarray([1, 2, bank.geometry.rows_per_bank], dtype=np.int64)
+    with pytest.raises(ValueError, match="out of range"):
+        bank.activate_many_array(bad)
+    assert bank.total_activations == 0
+    assert bank.oracle.max_unmitigated == 0
+
+
+# ----------------------------------------------------------------------
+# MINT tracker (DMQ) and the full MIRZA tracker
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(3))
+def test_mint_tracker_array_path_matches_scalar(seed):
+    scalar = MintTracker(24, dmq_entries=2, rng=random.Random(seed))
+    vector = MintTracker(24, dmq_entries=2, rng=random.Random(seed))
+    for i, run in enumerate(_random_runs(seed, 10, (1, 200), 1024)):
+        for row in run:
+            scalar.on_activate(row, now_ps=0)
+        vector.on_activates_array(
+            np.asarray(run, dtype=np.int64),
+            np.zeros(len(run), dtype=np.int64))
+        assert scalar._pending == vector._pending
+        assert all(type(r) is int for r in vector._pending)
+        assert scalar.dropped_selections == vector.dropped_selections
+        if i % 2 == 0:
+            assert (scalar.on_mitigation_slot(0, MitigationSlotSource.RFM)
+                    == vector.on_mitigation_slot(
+                        0, MitigationSlotSource.RFM))
+
+
+def _mirza_state(t: MirzaTracker):
+    return (dict(t.queue._entries), t.rct._counters, t.acts_observed,
+            _sampler_state(t.mint), t.rct.filtered_acts,
+            t.rct.escaped_acts, t.wants_alert())
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_mirza_tracker_array_path_matches_scalar(seed):
+    config = MirzaConfig.paper_config(1000).scaled(2048)
+    geometry = DramGeometry()
+
+    def build():
+        return MirzaTracker(config, geometry, StridedR2SA(geometry),
+                            rng=random.Random(seed))
+
+    scalar, vector = build(), build()
+    runs = _random_runs(seed, 15, (1, 400), geometry.rows_per_bank,
+                        hot_rows=4, hot_fraction=0.8)
+    for i, run in enumerate(runs):
+        times = list(range(len(run)))
+        scalar.on_activates(run, times)
+        vector.on_activates_array(np.asarray(run, dtype=np.int64),
+                                  np.asarray(times, dtype=np.int64))
+        assert _mirza_state(scalar) == _mirza_state(vector)
+        assert all(type(r) is int for r in vector.queue._entries)
+        if i % 3 == 0:
+            assert (scalar.on_mitigation_slot(
+                        0, MitigationSlotSource.ALERT)
+                    == vector.on_mitigation_slot(
+                        0, MitigationSlotSource.ALERT))
+        if i % 4 == 0:
+            slice_ = RefreshSlice(
+                ref_index=i, physical_start=0, physical_end=1024,
+                logical_rows=geometry_rows(geometry, 0, 1024))
+            scalar.on_ref_slice(slice_, now_ps=0)
+            vector.on_ref_slice(slice_, now_ps=0)
+        assert _mirza_state(scalar) == _mirza_state(vector)
+
+
+def geometry_rows(geometry, start, end):
+    return StridedR2SA(geometry).logical_rows(start, end)
+
+
+# ----------------------------------------------------------------------
+# Structured-array chunk views
+# ----------------------------------------------------------------------
+def test_chunk_source_array_view_matches_tuples():
+    from repro.cpu.trace import TraceEntry
+
+    entries = [TraceEntry(compute_ps=10 * i, instructions=i,
+                          subchannel=i % 2, bank=i % 32, row=i * 7)
+               for i in range(100)]
+    tuples = chunk_entries(iter(entries), size=32)
+    arrays = chunk_entries(iter(entries), size=32)
+    while True:
+        chunk = tuples.next_chunk()
+        arr = arrays.next_chunk_array()
+        assert (chunk is None) == (arr is None)
+        if chunk is None:
+            break
+        assert len(arr) == len(chunk)
+        for field, idx in (("compute_ps", 0), ("instructions", 1),
+                           ("subchannel", 2), ("bank", 3), ("row", 4)):
+            assert arr[field].tolist() == [t[idx] for t in chunk]
+
+
+def test_synthetic_chunk_arrays_match_tuple_chunks():
+    from repro.workloads.specs import workload_by_name
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    make = lambda: SyntheticWorkload(workload_by_name("tc"), seed=11)  # noqa: E731
+    tuple_gen = make().trace_chunks(0)
+    array_gen = make().trace_chunk_arrays(0)
+    for _ in range(4):
+        chunk = next(tuple_gen)
+        arr = next(array_gen)
+        assert arr["row"].tolist() == [t[4] for t in chunk]
+        assert arr["bank"].tolist() == [t[3] for t in chunk]
