@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Benchmark history: append kernel-bench runs, trend them, gate CI.
+
+``bench_kernel.py`` measures one run; this script gives those runs a
+memory.  Each invocation with ``--input`` folds a ``BENCH_kernel.json``
+payload into a JSON-lines history file (one run per line, stamped with
+the git commit, an ISO timestamp, and the machine meta), prints a
+per-cell trend table over the trailing window, and renders a
+regression verdict: the newest run's requests/sec per cell against the
+*median of the prior runs* for that cell.
+
+    PYTHONPATH=src python benchmarks/bench_history.py \
+        --input BENCH_kernel.json --append
+    PYTHONPATH=src python benchmarks/bench_history.py --check
+    PYTHONPATH=src python benchmarks/bench_history.py \
+        --check --history benchmarks/BENCH_history.seed.jsonl
+
+``--append`` persists the new entry; without it the input run is only
+evaluated in memory.  ``--check`` exits non-zero when any cell's
+newest requests/sec fell more than ``--tolerance`` (default 25%) below
+its trailing median.  Absolute numbers are machine-dependent, so the
+gate only compares entries recorded on the *same machine string*; a
+history mixing machines trends each lineage separately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from statistics import median
+from typing import Dict, List, Optional
+
+HISTORY_DEFAULT = "BENCH_history.jsonl"
+
+META_KEYS = ("time_scale", "smoke", "backends", "python", "machine")
+"""Meta fields carried from the bench payload into a history entry."""
+
+
+def entry_from_payload(payload: Dict,
+                       commit: Optional[str] = None,
+                       timestamp: Optional[str] = None) -> Dict:
+    """One history line from a ``BENCH_kernel.json`` payload.
+
+    Results shrink to the trend metric (requests/sec per cell); the
+    commit and timestamp default to the stamps ``bench_kernel.py``
+    wrote into the payload meta.
+    """
+    meta = payload.get("meta", {})
+    results = payload.get("results", {})
+    cells = {key: cell["requests_per_sec"]
+             for key, cell in sorted(results.items())
+             if isinstance(cell, dict)
+             and cell.get("requests_per_sec")}
+    if not cells:
+        raise ValueError("bench payload has no requests_per_sec cells")
+    return {
+        "commit": commit or meta.get("commit", "unknown"),
+        "timestamp": timestamp or meta.get("timestamp", "unknown"),
+        "meta": {key: meta.get(key) for key in META_KEYS},
+        "results": cells,
+    }
+
+
+def load_history(path: str) -> List[Dict]:
+    """Parse a JSONL history file; a malformed line is a hard error
+    (the file is append-only and machine-written, so damage means the
+    gate cannot be trusted)."""
+    entries: List[Dict] = []
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return entries
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError as error:
+            raise ValueError(
+                f"{path}:{number}: malformed history line "
+                f"({error})") from error
+        if not isinstance(entry, dict) or "results" not in entry:
+            raise ValueError(
+                f"{path}:{number}: history line lacks a results map")
+        entries.append(entry)
+    return entries
+
+
+def append_entry(path: str, entry: Dict) -> None:
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def _same_machine(entry: Dict, reference: Dict) -> bool:
+    return entry.get("meta", {}).get("machine") == \
+        reference.get("meta", {}).get("machine")
+
+
+def evaluate(history: List[Dict],
+             tolerance: float) -> List[str]:
+    """Regressions in the newest entry vs the trailing median.
+
+    Per cell: the last entry's requests/sec against the median of
+    every *prior* same-machine entry that measured the cell.  Cells
+    with no prior measurement pass (there is nothing to regress
+    against), as does a history with fewer than two entries.
+    """
+    if len(history) < 2:
+        return []
+    newest = history[-1]
+    regressions: List[str] = []
+    for cell, rps in sorted(newest.get("results", {}).items()):
+        prior = [entry["results"][cell] for entry in history[:-1]
+                 if cell in entry.get("results", {})
+                 and _same_machine(entry, newest)]
+        if not prior or not rps:
+            continue
+        baseline = median(prior)
+        if baseline <= 0:
+            continue
+        ratio = rps / baseline
+        if ratio < 1.0 - tolerance:
+            regressions.append(
+                f"{cell}: {rps:,.0f} req/s vs trailing median "
+                f"{baseline:,.0f} req/s "
+                f"({100 * (1 - ratio):.0f}% slower)")
+    return regressions
+
+
+def trend_table(history: List[Dict], window: int = 8) -> str:
+    """Per-cell trend over the trailing ``window`` entries.
+
+    One row per cell: the recent requests/sec sequence (oldest first)
+    and the last run's delta vs the median of the runs before it.
+    """
+    recent = history[-window:]
+    if not recent:
+        return "(empty history)"
+    cells = sorted({cell for entry in recent
+                    for cell in entry.get("results", {})})
+    label = "  ".join(
+        entry.get("commit", "?")[:7] or "?" for entry in recent)
+    lines = [f"{'cell':<32} {'trend (req/s, oldest first)'}",
+             f"{'':<32} commits: {label}"]
+    for cell in cells:
+        values = [entry.get("results", {}).get(cell)
+                  for entry in recent]
+        rendered = "  ".join(
+            f"{v:,.0f}" if v else "-" for v in values)
+        present = [v for v in values[:-1] if v]
+        last = values[-1]
+        if present and last:
+            delta = 100.0 * (last / median(present) - 1.0)
+            rendered += f"  ({delta:+.0f}% vs median)"
+        lines.append(f"{cell:<32} {rendered}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--input", default=None, metavar="FILE",
+                        help="BENCH_kernel.json payload to fold into "
+                             "the history (evaluated in memory unless "
+                             "--append)")
+    parser.add_argument("--history", default=HISTORY_DEFAULT,
+                        metavar="FILE",
+                        help=f"JSONL history file (default: "
+                             f"{HISTORY_DEFAULT})")
+    parser.add_argument("--append", action="store_true",
+                        help="persist the --input run to the history "
+                             "file")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the newest entry "
+                             "regressed vs its trailing median")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional req/s regression "
+                             "(default: 0.25)")
+    parser.add_argument("--window", type=int, default=8,
+                        help="entries shown in the trend table "
+                             "(default: 8)")
+    parser.add_argument("--commit", default=None, metavar="SHA",
+                        help="override the commit stamped on the "
+                             "--input entry")
+    parser.add_argument("--timestamp", default=None, metavar="ISO",
+                        help="override the timestamp stamped on the "
+                             "--input entry")
+    args = parser.parse_args(argv)
+
+    try:
+        history = load_history(args.history)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.input:
+        try:
+            with open(args.input) as handle:
+                payload = json.load(handle)
+            entry = entry_from_payload(payload, commit=args.commit,
+                                       timestamp=args.timestamp)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        history.append(entry)
+        if args.append:
+            append_entry(args.history, entry)
+            print(f"appended {entry['commit'][:12]} to "
+                  f"{args.history} ({len(history)} entries)",
+                  file=sys.stderr)
+    elif not history:
+        print(f"error: {args.history} is empty and no --input was "
+              f"given", file=sys.stderr)
+        return 2
+
+    print(trend_table(history, window=args.window))
+    regressions = evaluate(history, args.tolerance)
+    if regressions:
+        print("THROUGHPUT REGRESSION:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1 if args.check else 0
+    print(f"verdict: OK -- no cell regressed more than "
+          f"{args.tolerance:.0%} vs its trailing median "
+          f"({len(history)} entries)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

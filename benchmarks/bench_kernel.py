@@ -37,7 +37,9 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import sys
+from datetime import datetime, timezone
 from time import perf_counter
 from typing import Dict, List, Optional
 
@@ -47,6 +49,27 @@ from repro.sim.runner import calibrated_workload, simulate
 
 SETUPS = ("baseline", "prac-1000", "mint-rfm-1000", "mirza-1000")
 WORKLOADS = ("tc", "mcf")
+
+
+def git_commit() -> str:
+    """Current git commit hash, or ``"unknown"`` outside a checkout.
+
+    Called exactly once per run (from :func:`main`, never a timed
+    loop); the subprocess cost is irrelevant there.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True,
+            text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def iso_timestamp() -> str:
+    """Current UTC time as an ISO-8601 string (seconds precision)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
 def bench_one(workload: str, setup_name: str, scale: SimScale,
@@ -211,6 +234,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional req/s regression for "
                              "--check (default: 0.25)")
+    parser.add_argument("--commit", default=None, metavar="SHA",
+                        help="commit hash to stamp into the result "
+                             "meta (default: `git rev-parse HEAD`, or "
+                             "'unknown' outside a checkout)")
+    parser.add_argument("--timestamp", default=None, metavar="ISO",
+                        help="ISO-8601 timestamp to stamp into the "
+                             "result meta (default: current UTC time)")
     args = parser.parse_args(argv)
 
     time_scale = 4096 if args.smoke else args.time_scale
@@ -233,6 +263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "backends": backends,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "commit": args.commit or git_commit(),
+            "timestamp": args.timestamp or iso_timestamp(),
         },
         "results": results,
     }

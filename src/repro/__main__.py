@@ -145,6 +145,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "--trace-limit", type=int, default=None, metavar="N",
             help="ring-buffer capacity for event tracing "
                  "(default: REPRO_TRACE_LIMIT or 200000)")
+        p.add_argument(
+            "--progress", action="store_true",
+            help="print a live progress line (cells done/total, cache "
+                 "hit-rate, retries, ETA) to stderr while the batch "
+                 "runs")
 
     p_list = sub.add_parser("list", help="print the exhibit names")
     p_list.add_argument(
@@ -225,6 +230,8 @@ def _environment(args: argparse.Namespace) -> Iterator[None]:
         overrides["REPRO_METRICS"] = "1"
     if getattr(args, "trace_out", None):
         overrides["REPRO_TRACE"] = "1"
+        # A Perfetto trace carries the session/worker span tracks too.
+        overrides["REPRO_SPANS"] = "1"
     if getattr(args, "trace_limit", None):
         overrides["REPRO_TRACE_LIMIT"] = getattr(args, "trace_limit")
     try:
@@ -257,13 +264,18 @@ def _session_for(args: argparse.Namespace) -> SimSession:
         policy = FailurePolicy.KEEP_GOING
     else:
         policy = FailurePolicy.FAIL_FAST
+    progress = None
+    if getattr(args, "progress", False):
+        from repro.obs.progress import ProgressLine
+        progress = ProgressLine()
     return SimSession(
         cache_dir=getattr(args, "cache_dir", None),
         disk_cache=False if getattr(args, "no_cache", False) else None,
         max_workers=getattr(args, "jobs", None),
         failure_policy=policy,
         max_retries=getattr(args, "max_retries", None),
-        job_timeout=getattr(args, "job_timeout", None))
+        job_timeout=getattr(args, "job_timeout", None),
+        progress=progress)
 
 
 def _run_simulations(args: argparse.Namespace,
@@ -285,7 +297,16 @@ def _run_simulations(args: argparse.Namespace,
     targets = list(getattr(args, "targets", None)
                    or getattr(args, "exhibits"))
     jobs = [SimJob(name, setup, scale, seed) for name in targets]
-    results = session.run_many(jobs)
+    trace_out = getattr(args, "trace_out", None)
+    recorder = None
+    if trace_out:
+        # Record session/worker spans parent-side so the Chrome trace
+        # carries the batch-execution tracks next to the kernel lanes.
+        from repro.obs import spans as obs_spans
+        with obs_spans.recording() as recorder:
+            results = session.run_many(jobs)
+    else:
+        results = session.run_many(jobs)
     status = 0
 
     for name, result in zip(targets, results):
@@ -300,27 +321,54 @@ def _run_simulations(args: argparse.Namespace,
               f" row-hit={result.row_hit_rate:.3f} mean-ipc={ipc:.3f}")
     results = [r for r in results if not is_failure(r)]
 
-    if any(result.metrics for result in results):
+    snapshots = [r.metrics for r in results if r.metrics]
+    if snapshots:
         from repro.obs import merge_snapshots, render_metrics_report
-        merged = merge_snapshots(
-            [r.metrics for r in results if r.metrics])
+        # The session-local batch gauges (cache hit-rate, pool
+        # utilization, queue depth) ride along in the same table.
+        merged = merge_snapshots(snapshots + [session.obs_snapshot()])
         print()
         print(render_metrics_report(merged))
+    elif getattr(args, "command", None) == "stats":
+        print("stats: no metrics were recorded (every job failed or "
+              "was skipped); nothing to report", file=sys.stderr)
+        return 3
 
-    trace_out = getattr(args, "trace_out", None)
     if trace_out:
         from repro.obs import export as obs_export
         events = []
         for result in results:
             events.extend(result.trace_events or [])
-        obs_export.write_chrome_trace(events, trace_out)
-        print(f"wrote {len(events)} events to {trace_out} "
+        spans = recorder.as_list() if recorder is not None else None
+        obs_export.write_chrome_trace(events, trace_out, spans=spans)
+        print(f"wrote {len(events)} events and "
+              f"{len(spans or [])} spans to {trace_out} "
               f"(load in https://ui.perfetto.dev)", file=sys.stderr)
         jsonl_out = getattr(args, "jsonl_out", None)
         if jsonl_out:
             obs_export.write_jsonl(events, jsonl_out)
             print(f"wrote JSONL events to {jsonl_out}", file=sys.stderr)
     return status
+
+
+@contextlib.contextmanager
+def _trace_capture(trace_out):
+    """Scope kernel tracing + span recording over a block and write the
+    merged Chrome trace to ``trace_out`` on clean exit.  A no-op scope
+    when ``trace_out`` is falsy."""
+    if not trace_out:
+        yield
+        return
+    from repro.obs import export as obs_export
+    from repro.obs import spans as obs_spans
+    from repro.obs import trace as obs_trace
+    with obs_trace.tracing() as buf, obs_spans.recording() as rec:
+        yield
+    obs_export.write_chrome_trace(buf.as_list(), trace_out,
+                                  spans=rec.as_list())
+    print(f"wrote {len(buf)} events and {len(rec.spans)} spans to "
+          f"{trace_out} (load in https://ui.perfetto.dev)",
+          file=sys.stderr)
 
 
 def _run_experiments(names: List[str], session: SimSession) -> int:
@@ -381,8 +429,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.metrics = True
     elif args.command == "trace" and not args.trace_out:
         args.trace_out = "trace.json"
-    with _environment(args):
+    with _environment(args), contextlib.ExitStack() as stack:
         session = _session_for(args)
+        if session.progress is not None \
+                and hasattr(session.progress, "close"):
+            stack.callback(session.progress.close)
         if args.command == "list":
             if getattr(args, "experiments", False):
                 from repro.experiments import framework
@@ -402,7 +453,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     only = getattr(args, "only", None)
                     only = ([n for n in only.split(",") if n.strip()]
                             if only else None)
-                    write_report(args.path, only=only, session=session)
+                    with _trace_capture(
+                            getattr(args, "trace_out", None)):
+                        write_report(args.path, only=only,
+                                     session=session)
                 elif args.command in ("stats", "trace") or (
                         args.command == "run" and args.setup):
                     status = _run_simulations(args, session)
@@ -415,16 +469,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "pass --experiment NAME)",
                               file=sys.stderr)
                         return 2
-                    if getattr(args, "experiment", None):
-                        status = _run_experiments(names, session)
-                    else:
-                        for name in names:
-                            try:
-                                print(run_exhibit(name,
-                                                  session=session))
-                            except KeyError as error:
-                                print(error, file=sys.stderr)
-                                return 2
+                    with _trace_capture(
+                            getattr(args, "trace_out", None)):
+                        if getattr(args, "experiment", None):
+                            status = _run_experiments(names, session)
+                        else:
+                            for name in names:
+                                try:
+                                    print(run_exhibit(
+                                        name, session=session))
+                                except KeyError as error:
+                                    print(error, file=sys.stderr)
+                                    return 2
             except JobFailed as error:
                 # fail_fast: completed siblings are already cached, so
                 # a rerun resumes from where this batch died.

@@ -45,6 +45,8 @@ class SimResult:
     """Metrics snapshot collected over the run (None when disabled)."""
     trace_events: Optional[list] = None
     """Structured trace events from the run (None when disabled)."""
+    spans: Optional[list] = None
+    """Wall-clock execution spans from the run (None when disabled)."""
     backend: Optional[str] = None
     """Kernel backend that produced this result (None = pre-backend
     payloads; backends are bit-identical, so this is pure metadata)."""

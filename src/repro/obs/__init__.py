@@ -1,13 +1,17 @@
 """``repro.obs``: structured observability for the simulation kernel.
 
-Three cooperating pieces (see ``docs/observability.md``):
+Four cooperating pieces (see ``docs/observability.md``):
 
 - :mod:`repro.obs.metrics` -- a registry of counters, gauges, and
   fixed-bucket histograms the hot layers are instrumented with.
 - :mod:`repro.obs.trace` -- a bounded ring buffer of typed events
   (ACT/REF/RFM/ALERT/stall/mitigation) with picosecond timestamps.
+- :mod:`repro.obs.spans` -- wall-clock spans over batch execution
+  (one per ``run_many``, per cell with its disposition, per kernel
+  run), with a live progress line in :mod:`repro.obs.progress`.
 - :mod:`repro.obs.export` -- JSONL and Chrome trace-event exporters,
-  so a run opens directly in Perfetto with per-bank lanes.
+  so a run opens directly in Perfetto with per-bank kernel lanes and
+  session/worker span tracks.
 
 Everything is off by default and costs one ``None`` check per event
 when off.  Turn collection on with the ``REPRO_METRICS`` /
@@ -35,10 +39,13 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Union, IO
 
 from repro.obs import metrics as _metrics_mod
+from repro.obs import spans as _spans_mod
 from repro.obs import trace as _trace_mod
 from repro.obs.export import (
+    chrome_span_events,
     chrome_trace_events,
     read_jsonl,
+    sanitize_span_records,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
@@ -53,6 +60,7 @@ from repro.obs.metrics import (
     split_key,
 )
 from repro.obs.report import render_metrics_report
+from repro.obs.spans import SPAN_NAMES, SpanRecorder
 from repro.obs.trace import CHANNEL_LANE, EVENT_NAMES, TraceBuffer
 
 
@@ -66,15 +74,22 @@ def trace_requested() -> bool:
     return _trace_mod.requested()
 
 
+def spans_requested() -> bool:
+    """True when span recording is installed or env-enabled."""
+    return _spans_mod.requested()
+
+
 class Collection:
     """Handle yielded by :func:`collecting`: the scoped sinks."""
 
-    __slots__ = ("metrics", "trace")
+    __slots__ = ("metrics", "trace", "spans")
 
     def __init__(self, metrics: Optional[MetricsRegistry],
-                 trace: Optional[TraceBuffer]) -> None:
+                 trace: Optional[TraceBuffer],
+                 spans: Optional[SpanRecorder] = None) -> None:
         self.metrics = metrics
         self.trace = trace
+        self.spans = spans
 
     def metrics_snapshot(self) -> Optional[Dict[str, Dict]]:
         """The collected metrics (``None`` when metrics were off)."""
@@ -85,9 +100,14 @@ class Collection:
         """The collected events (``None`` when tracing was off)."""
         return self.trace.as_list() if self.trace is not None else None
 
+    def spans_list(self) -> Optional[List[List]]:
+        """The recorded spans (``None`` when spans were off)."""
+        return self.spans.as_list() if self.spans is not None else None
+
     def write_chrome_trace(self, target: Union[str, IO[str]]) -> int:
         """Export the collected events for Perfetto; returns count."""
-        return write_chrome_trace(self.trace_events() or [], target)
+        return write_chrome_trace(self.trace_events() or [], target,
+                                  spans=self.spans_list())
 
     def write_jsonl(self, target: Union[str, IO[str]]) -> int:
         """Export the collected events as JSON-lines; returns count."""
@@ -104,31 +124,36 @@ def suppressed() -> Iterator[None]:
     """
     prev_registry = _metrics_mod.install(None)
     prev_buffer = _trace_mod.install(None)
+    prev_spans = _spans_mod.install(None)
     try:
         yield
     finally:
         _metrics_mod.install(prev_registry)
         _trace_mod.install(prev_buffer)
+        _spans_mod.install(prev_spans)
 
 
 @contextmanager
 def collecting(metrics: bool = True, trace: bool = False,
-               trace_limit: Optional[int] = None
-               ) -> Iterator[Collection]:
-    """Scope metrics and/or trace collection over a ``with`` block.
+               trace_limit: Optional[int] = None,
+               spans: bool = False) -> Iterator[Collection]:
+    """Scope metrics/trace/span collection over a ``with`` block.
 
-    Nested scopes aggregate outward: a child scope's snapshot/events
-    are merged into the enclosing scope's sinks on exit, which is how
-    per-``simulate`` collection feeds a CLI- or session-wide view.
+    Nested scopes aggregate outward: a child scope's snapshot/events/
+    spans are merged into the enclosing scope's sinks on exit, which is
+    how per-``simulate`` collection feeds a CLI- or session-wide view.
     """
     registry = MetricsRegistry() if metrics else None
     buffer = TraceBuffer(
         trace_limit if trace_limit is not None
         else _trace_mod.limit_from_env()) if trace else None
+    recorder = SpanRecorder(_spans_mod.limit_from_env()) if spans \
+        else None
     prev_registry = _metrics_mod.install(registry) if metrics else None
     prev_buffer = _trace_mod.install(buffer) if trace else None
+    prev_spans = _spans_mod.install(recorder) if spans else None
     try:
-        yield Collection(registry, buffer)
+        yield Collection(registry, buffer, recorder)
     finally:
         if metrics:
             _metrics_mod.install(prev_registry)
@@ -139,6 +164,11 @@ def collecting(metrics: bool = True, trace: bool = False,
             if prev_buffer is not None:
                 prev_buffer.extend(buffer.as_list())
                 prev_buffer.dropped += buffer.dropped
+        if spans:
+            _spans_mod.install(prev_spans)
+            if prev_spans is not None:
+                prev_spans.extend(recorder.as_list())
+                prev_spans.dropped += recorder.dropped
 
 
 __all__ = [
@@ -149,7 +179,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SPAN_NAMES",
+    "SpanRecorder",
     "TraceBuffer",
+    "chrome_span_events",
     "chrome_trace_events",
     "collecting",
     "merge_snapshots",
@@ -157,6 +190,8 @@ __all__ = [
     "metrics_requested",
     "read_jsonl",
     "render_metrics_report",
+    "sanitize_span_records",
+    "spans_requested",
     "split_key",
     "suppressed",
     "trace_requested",

@@ -37,6 +37,10 @@ PS_PER_US = 1_000_000
 CHANNEL_TID = 999
 """Thread id of the channel-wide lane in the Chrome export."""
 
+SPAN_PIDS = {"session": 9000, "worker": 9001}
+"""Chrome process ids for the span tracks (kernel lanes use the small
+subchannel numbers, so the 9000 block can never collide)."""
+
 _FIELDS = ("ts", "ph", "name", "subch", "bank")
 
 
@@ -129,13 +133,78 @@ def chrome_trace_events(events: Iterable[List]) -> List[Dict]:
     return out
 
 
+def sanitize_span_records(records: Iterable[Dict]) -> List[Dict]:
+    """Drop malformed ``X`` records and time-order the rest.
+
+    Perfetto silently discards complete events with a negative or
+    missing ``dur`` (and renders out-of-order timestamps wrong), so
+    the exporter filters them *before* writing instead of emitting a
+    file that loads incomplete without warning.  Metadata (``M``)
+    records keep their position at the front.
+    """
+    meta: List[Dict] = []
+    timed: List[Dict] = []
+    for record in records:
+        if record.get("ph") == "M":
+            meta.append(record)
+            continue
+        if record.get("ph") == "X":
+            dur = record.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                continue
+        timed.append(record)
+    timed.sort(key=lambda r: r.get("ts", 0))
+    return meta + timed
+
+
+def chrome_span_events(spans: Iterable[List]) -> List[Dict]:
+    """Spans in Chrome trace-event form (``X`` complete events).
+
+    Each span ``[track, name, start_us, dur_us, meta]`` (see
+    :mod:`repro.obs.spans`) becomes one complete event on the track's
+    reserved process (:data:`SPAN_PIDS`); the meta dict rides along as
+    ``args``.  A ``pid`` key in the meta picks the thread lane, so
+    worker spans group by the OS process that ran them.
+    """
+    spans = list(spans)
+    out: List[Dict] = []
+    lanes = sorted({(s[0], int((s[4] or {}).get("pid", 0)))
+                    for s in spans})
+    for track in sorted({t for t, _ in lanes}):
+        pid = SPAN_PIDS.get(track, max(SPAN_PIDS.values()) + 1)
+        out.append({"name": "process_name", "ph": "M", "pid": pid,
+                    "tid": 0, "args": {"name": track}})
+    for track, tid in lanes:
+        pid = SPAN_PIDS.get(track, max(SPAN_PIDS.values()) + 1)
+        label = track if tid == 0 else f"pid {tid}"
+        out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": label}})
+    for track, name, start_us, dur_us, meta in spans:
+        pid = SPAN_PIDS.get(track, max(SPAN_PIDS.values()) + 1)
+        tid = int((meta or {}).get("pid", 0))
+        out.append({"name": name, "ph": "X", "pid": pid, "tid": tid,
+                    "ts": float(start_us), "dur": float(dur_us),
+                    "args": dict(meta or {})})
+    return sanitize_span_records(out)
+
+
 def write_chrome_trace(events: Iterable[List],
-                       target: Union[str, IO[str]]) -> int:
-    """Write a Perfetto-loadable trace file; returns the event count."""
+                       target: Union[str, IO[str]],
+                       spans: Optional[Iterable[List]] = None) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count.
+
+    ``spans`` (session/worker spans from :mod:`repro.obs.spans`) are
+    merged onto their own tracks alongside the kernel lanes; the
+    combined timed events are re-sorted so the file stays globally
+    time-ordered (what :func:`validate_chrome_trace` checks).
+    """
     if isinstance(target, str):
         with open(target, "w") as handle:
-            return write_chrome_trace(events, handle)
+            return write_chrome_trace(events, handle, spans=spans)
     trace_events = chrome_trace_events(events)
+    if spans:
+        trace_events = sanitize_span_records(
+            trace_events + chrome_span_events(spans))
     json.dump({"traceEvents": trace_events, "displayTimeUnit": "ns"},
               target, indent=1)
     target.write("\n")
@@ -148,9 +217,13 @@ def validate_chrome_trace(payload: Union[Dict, List]
 
     Validates the subset of the trace-event schema this exporter (and
     the tests) rely on: a ``traceEvents`` list, required fields with
-    the right types, non-decreasing timestamps among timed events, and
+    the right types, non-decreasing timestamps among timed events,
     per-lane ``B``/``E`` nesting that never goes negative and ends
-    balanced.
+    balanced, and ``X`` (complete) events carrying a non-negative
+    numeric ``dur`` -- Perfetto silently drops negative-duration and
+    out-of-order events, so the validator refuses what the viewer
+    would hide (:func:`sanitize_span_records` is the write-side pass
+    that keeps exported files clean).
     """
     if isinstance(payload, dict):
         events = payload.get("traceEvents")
@@ -182,7 +255,14 @@ def validate_chrome_trace(payload: Union[Dict, List]
             depth[key] = depth.get(key, 0) + (1 if ph == "B" else -1)
             if depth[key] < 0:
                 return f"event {index}: E without matching B on {key}"
-        elif ph not in ("i", "X"):
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                return f"event {index} (X) lacks a numeric dur"
+            if dur < 0:
+                return (f"event {index} (X) has a negative duration "
+                        f"({dur})")
+        elif ph != "i":
             return f"event {index} has unsupported ph {ph!r}"
     unbalanced = {k: v for k, v in depth.items() if v}
     if unbalanced:

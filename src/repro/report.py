@@ -124,7 +124,12 @@ def _footer(plan: framework.Plan, elapsed: float) -> List[str]:
     batch = plan.batch
     if batch is not None:
         line += (f"; session computed {batch.computed}, "
-                 f"served {batch.cache_hits} from cache")
+                 f"served {batch.cache_hits} from cache "
+                 f"({100.0 * batch.hit_rate:.0f}% hit rate)")
+        if batch.workers > 1:
+            line += (f"; pool utilization "
+                     f"{100.0 * batch.utilization:.0f}% over "
+                     f"{batch.workers} workers")
         if batch.failed or batch.retried or batch.timed_out:
             line += (f"; {batch.failed} failed, {batch.retried} "
                      f"retried, {batch.timed_out} timed out")

@@ -57,6 +57,8 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
 
 from repro import _env, _profile
 from repro.cpu.system import MultiCoreSystem, SimResult
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as _obs_trace
 from repro.dram.device import DramDevice
 from repro.dram.refresh import RefreshSlice
 from repro.mitigations.base import BankTracker, UNBOUNDED_SLACK
@@ -109,6 +111,13 @@ DISABLE_ENV_VAR = "REPRO_DISABLE_VECTOR"
 """Set (to 1/true/yes/on) to refuse the vector backend even when a
 compatible numpy is importable -- used by the minimal-deps CI job to
 prove the event/array backends carry the suite on their own."""
+
+FLUSH_RUN_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+                    2048, 4096)
+"""Buckets of the ``backend.flush_run_len`` histogram.  The edges
+bracket :data:`VECTOR_MIN_RUN`, so the recorded distribution shows
+directly what fraction of flush runs clears the vectorization
+threshold -- the data to tune it with."""
 
 
 def _vector_unavailable_reason() -> Optional[str]:
@@ -167,10 +176,18 @@ class _BatchingDevice:
     __slots__ = ("_real", "_rows", "_times", "_countdown", "_pending",
                  "_alertable_ids", "banks", "trackers", "stats",
                  "config", "mapping", "refresh", "subch", "num_banks",
-                 "blast_radius")
+                 "blast_radius", "_flush_hist", "_trace_buf")
 
     def __init__(self, real: DramDevice) -> None:
         self._real = real
+        # Observability prefetch (the usual one-None-check-when-off
+        # pattern): flush-run lengths feed a histogram, and each flush
+        # lands as a FLUSH window on the bank's kernel trace lane.
+        registry = _obs_metrics._ACTIVE
+        self._flush_hist = registry.histogram(
+            "backend.flush_run_len", FLUSH_RUN_BOUNDS) \
+            if registry is not None else None
+        self._trace_buf = _obs_trace._ACTIVE
         # Plain-attribute reads MCs and experiments perform are served
         # directly from the real device's objects.
         self.banks = real.banks
@@ -198,10 +215,28 @@ class _BatchingDevice:
     # ------------------------------------------------------------------
     # Deferral machinery
     # ------------------------------------------------------------------
+    def _note_flush(self, bank_id: int, run_len: int) -> None:
+        """Record one flush run (histogram + FLUSH trace window)."""
+        if self._flush_hist is not None:
+            self._flush_hist.observe(run_len)
+        buf = self._trace_buf
+        if buf is not None:
+            times = self._times[bank_id]
+            if times[-1] > times[0]:
+                buf.window(times[0], times[-1], "FLUSH", self.subch,
+                           bank_id)
+            else:
+                # Single-ACT runs are instants: a zero-length B/E pair
+                # would be reordered (E-before-B) by the exporter.
+                buf.instant(times[0], "FLUSH", self.subch, bank_id)
+
     def _flush(self, bank_id: int) -> None:
         """Land ``bank_id``'s buffered run on the real device."""
         rows = self._rows[bank_id]
         if rows:
+            if self._flush_hist is not None \
+                    or self._trace_buf is not None:
+                self._note_flush(bank_id, len(rows))
             self._real.apply_activations(bank_id, rows,
                                          self._times[bank_id])
             self._rows[bank_id] = []
@@ -332,6 +367,8 @@ class _VectorizingDevice(_BatchingDevice):
         rows = self._rows[bank_id]
         if not rows:
             return
+        if self._flush_hist is not None or self._trace_buf is not None:
+            self._note_flush(bank_id, len(rows))
         if len(rows) >= VECTOR_MIN_RUN and self._vector_ok[bank_id]:
             self._real.apply_activations_array(
                 bank_id,

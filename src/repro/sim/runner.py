@@ -32,6 +32,7 @@ closure still works -- it just runs in-process and uncached.
 
 from __future__ import annotations
 
+import os
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ from repro import _env
 from repro import obs as _obs
 from repro.core.config import MirzaConfig
 from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
 from repro.sim import backend as _backend
 from repro.sim.backend import KernelBackend
 from repro.core.mirza import MirzaTracker
@@ -376,19 +378,30 @@ def simulate(workload: Union[str, WorkloadSpec],
     kernel = _backend.resolve_backend(backend)
     collect_metrics = _obs.metrics_requested()
     collect_trace = _obs.trace_requested()
-    if not (collect_metrics or collect_trace):
+    collect_spans = _obs.spans_requested()
+    if not (collect_metrics or collect_trace or collect_spans):
         result = kernel.run(build(), window)
         result.backend = kernel.name
         return result
     with _obs.collecting(metrics=collect_metrics,
-                         trace=collect_trace) as col:
-        result = kernel.run(build(), window)
+                         trace=collect_trace,
+                         spans=collect_spans) as col:
+        if col.spans is not None:
+            with col.spans.span(_spans.TRACK_WORKER,
+                                f"kernel:{kernel.name}",
+                                {"pid": os.getpid()}) as attrs:
+                result = kernel.run(build(), window)
+                attrs["requests"] = result.total_requests
+                attrs["activations"] = result.total_activations
+        else:
+            result = kernel.run(build(), window)
         reg = _metrics._ACTIVE
         if reg is not None:
             reg.counter(f"sim.backend.{kernel.name}").value += 1
     result.backend = kernel.name
     result.metrics = col.metrics_snapshot()
     result.trace_events = col.trace_events()
+    result.spans = col.spans_list()
     return result
 
 

@@ -60,6 +60,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
+from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -76,7 +77,10 @@ from repro._env import env_float, env_int
 from repro.cpu.system import SimResult
 from repro.sim import backend as _backend_mod
 from repro.obs import metrics as _obs_metrics
+from repro.obs import spans as _obs_spans
 from repro.obs import trace as _obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import ProgressUpdate
 from repro.params import (
     AboTimings,
     DramGeometry,
@@ -87,11 +91,13 @@ from repro.params import (
 )
 from repro.workloads.specs import WorkloadSpec, workload_by_name
 
-CACHE_FORMAT = 2
+CACHE_FORMAT = 3
 """Bump when job hashing or result serialization changes shape.
 
 Format 2: :class:`SimResult` grew optional ``metrics`` and
 ``trace_events`` fields (PR 3's observability subsystem).
+Format 3: :class:`SimResult` grew the optional ``spans`` field
+(session-level span tracing).
 """
 
 _MISS = object()
@@ -225,10 +231,32 @@ class BatchStats:
     failed: int = 0
     retried: int = 0
     timed_out: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
 
     @property
     def deduplicated(self) -> int:
         return self.submitted - self.unique
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of submitted jobs served from a pre-batch cache."""
+        return self.cache_hits / self.submitted if self.submitted \
+            else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker-seconds budget spent executing.
+
+        ``busy_seconds`` sums per-job execution time wherever the job
+        ran; the budget is ``workers * wall_seconds``.  Low values on a
+        wide pool mean the batch was starved (cache hits, dedup) or
+        serialized (queue stalls, rebuilds).
+        """
+        budget = self.workers * self.wall_seconds
+        return min(1.0, self.busy_seconds / budget) if budget > 0 \
+            else 0.0
 
 
 def _observability_satisfied(result: Any) -> bool:
@@ -244,6 +272,8 @@ def _observability_satisfied(result: Any) -> bool:
     if _obs_metrics.requested() and result.metrics is None:
         return False
     if _obs_trace.requested() and result.trace_events is None:
+        return False
+    if _obs_spans.requested() and result.spans is None:
         return False
     return True
 
@@ -283,6 +313,25 @@ def describe(obj: Any) -> Any:
         return {str(key): describe(obj[key])
                 for key in sorted(obj, key=str)}
     raise Undescribable(f"no canonical description for {obj!r}")
+
+
+def job_label(job: Any) -> str:
+    """Short human-readable label for one job (span names, progress).
+
+    ``SimJob``-shaped jobs render as ``workload/setup``; anything else
+    falls back to the class name plus a token prefix, so two distinct
+    ad-hoc jobs never share a label by accident.
+    """
+    workload = getattr(job, "workload", None)
+    name = workload if isinstance(workload, str) \
+        else getattr(workload, "name", None)
+    setup = getattr(getattr(job, "setup", None), "name", None)
+    if name and setup:
+        return f"{name}/{setup}"
+    token = job_token(job)
+    if token:
+        return f"{type(job).__name__}:{token[:10]}"
+    return type(job).__name__
 
 
 def job_token(job: Any) -> Optional[str]:
@@ -395,6 +444,11 @@ def _pool_env_overrides() -> Dict[str, str]:
         buffer = _obs_trace._ACTIVE
         if buffer is not None:
             env["REPRO_TRACE_LIMIT"] = str(buffer.limit)
+    if _obs_spans.requested():
+        env["REPRO_SPANS"] = "1"
+        recorder = _obs_spans._ACTIVE
+        if recorder is not None:
+            env["REPRO_SPAN_LIMIT"] = str(recorder.limit)
     for var in _FAULT_ENV_VARS:
         value = os.environ.get(var)
         if value:
@@ -410,24 +464,30 @@ def _pool_env_overrides() -> Dict[str, str]:
 
 
 def _execute_job(payload: Tuple[Any, Dict[str, str], bool, int]
-                 ) -> Tuple[Any, Optional[dict]]:
+                 ) -> Tuple[Any, Optional[dict], float]:
     """Pool entry point carrying observability/profiling context.
 
     ``payload`` is ``(job, env overrides, want_profile, attempt)``;
     the attempt number feeds the deterministic fault-injection hook.
-    Returns ``(result, profile_dict)`` where ``profile_dict`` is the
-    worker-side :class:`~repro._profile.KernelProfile` in dict form
-    (``None`` unless the parent asked for profiling).
+    Returns ``(result, profile_dict, exec_seconds)`` where
+    ``profile_dict`` is the worker-side
+    :class:`~repro._profile.KernelProfile` in dict form (``None``
+    unless the parent asked for profiling) and ``exec_seconds`` is the
+    job's wall-clock execution time in this worker (it feeds the
+    parent's pool-utilization gauge -- the parent only observes
+    queue + execution time together).
     """
     job, env, want_profile, attempt = payload
     for key, value in env.items():
         os.environ[key] = value
     _maybe_inject_fault(job, attempt)
+    t0 = perf_counter()
     if not want_profile:
-        return job.execute(), None
+        result = job.execute()
+        return result, None, perf_counter() - t0
     with _profile.profiling() as prof:
         result = job.execute()
-    return result, prof.to_dict()
+    return result, prof.to_dict(), perf_counter() - t0
 
 
 # ----------------------------------------------------------------------
@@ -451,6 +511,119 @@ class _Tally:
         self.retried = 0
         self.timed_out = 0
         self.failures: Dict[str, JobFailure] = {}  # token -> failure
+
+
+QUEUE_DEPTH_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+"""Buckets of the ``session.queue_depth`` histogram (cells still
+outstanding, observed at each completion)."""
+
+
+class _BatchMonitor:
+    """Per-batch span recording and progress bookkeeping.
+
+    One instance per :meth:`SimSession.run_many`.  It owns the
+    wall-clock view of the batch: per-cell session spans (disposition
+    in the meta), the ``workers`` execution-phase span, the live
+    progress callback, the queue-depth histogram, and the busy-seconds
+    total behind the pool-utilization gauge.  Span recording is skipped
+    entirely when no recorder is installed; the histogram lands in the
+    session-local registry, which is always present and cheap.
+    """
+
+    __slots__ = ("recorder", "progress", "tally", "total", "done",
+                 "cache_hits", "failed", "busy_s", "pool_rebuilds",
+                 "start_us", "_t0", "_starts", "_queue_hist")
+
+    def __init__(self, recorder: Optional[_obs_spans.SpanRecorder],
+                 progress: Optional[Callable[[ProgressUpdate], None]],
+                 registry: MetricsRegistry, tally: _Tally,
+                 total: int) -> None:
+        self.recorder = recorder
+        self.progress = progress
+        self.tally = tally
+        self.total = total
+        self.done = 0
+        self.cache_hits = 0
+        self.failed = 0
+        self.busy_s = 0.0
+        self.pool_rebuilds = 0
+        self.start_us = _obs_spans.now_us()
+        self._t0 = perf_counter()
+        self._starts: Dict[str, Tuple[float, float]] = {}
+        self._queue_hist = registry.histogram("session.queue_depth",
+                                              QUEUE_DEPTH_BOUNDS)
+
+    @property
+    def elapsed_s(self) -> float:
+        return perf_counter() - self._t0
+
+    def job_started(self, token: Optional[str]) -> None:
+        """Mark a cell's lifetime start (first submission only, so a
+        retry or a pool rebuild never resets the span)."""
+        if token is not None and token not in self._starts:
+            self._starts[token] = (_obs_spans.now_us(), perf_counter())
+
+    def cell_done(self, token: Optional[str], job: Any,
+                  disposition: str, attempts: int,
+                  exec_s: float = 0.0) -> None:
+        """Record one finished cell: span, histogram, progress tick."""
+        self.done += 1
+        if disposition == "cache-hit":
+            self.cache_hits += 1
+        elif disposition in ("failed", "timed-out"):
+            self.failed += 1
+        self.busy_s += exec_s
+        self._queue_hist.observe(self.total - self.done)
+        if self.recorder is not None:
+            started = self._starts.pop(token, None) \
+                if token is not None else None
+            if started is not None:
+                start_us = started[0]
+                dur_us = (perf_counter() - started[1]) * 1e6
+            else:
+                # Cache hits and untokened jobs have no tracked start;
+                # their span is the execution time ending now.
+                dur_us = exec_s * 1e6
+                start_us = _obs_spans.now_us() - dur_us
+            meta: Dict[str, Any] = {"disposition": disposition,
+                                    "attempts": attempts}
+            if token is not None:
+                meta["token"] = token[:12]
+            if exec_s:
+                meta["exec_ms"] = round(exec_s * 1e3, 3)
+            self.recorder.add(_obs_spans.TRACK_SESSION,
+                              f"cell:{job_label(job)}",
+                              start_us, dur_us, meta)
+        if self.progress is not None:
+            self.progress(ProgressUpdate(
+                done=self.done, total=self.total,
+                cache_hits=self.cache_hits,
+                retried=self.tally.retried, failed=self.failed,
+                elapsed_s=self.elapsed_s))
+
+    @contextmanager
+    def phase(self, name: str, **meta: Any):
+        """Record the ``with`` block as a session-track span."""
+        if self.recorder is None:
+            yield
+            return
+        with self.recorder.span(_obs_spans.TRACK_SESSION, name,
+                                meta) as attrs:
+            yield
+            attrs["pool_rebuilds"] = self.pool_rebuilds
+
+    def finish(self, batch: "BatchStats") -> None:
+        """Record the batch's root ``run_many`` span."""
+        if self.recorder is None:
+            return
+        self.recorder.add(
+            _obs_spans.TRACK_SESSION, "run_many", self.start_us,
+            self.elapsed_s * 1e6,
+            {"submitted": batch.submitted, "unique": batch.unique,
+             "cache_hits": batch.cache_hits,
+             "computed": batch.computed, "failed": batch.failed,
+             "retried": batch.retried, "timed_out": batch.timed_out,
+             "workers": batch.workers})
 
 
 class SimSession:
@@ -489,6 +662,11 @@ class SimSession:
         torn down and rebuilt so a wedged worker cannot hold the batch
         hostage.  Serial in-process execution cannot be preempted and
         ignores the timeout.
+    progress:
+        Optional callback invoked once per finished cell with a
+        :class:`~repro.obs.progress.ProgressUpdate` (the CLI's
+        ``--progress`` installs a
+        :class:`~repro.obs.progress.ProgressLine` here).
     """
 
     _MAX_POOL_REBUILDS = 2
@@ -503,7 +681,9 @@ class SimSession:
                  max_workers: Optional[int] = None,
                  failure_policy: Union[FailurePolicy, str, None] = None,
                  max_retries: Optional[int] = None,
-                 job_timeout: Optional[float] = None) -> None:
+                 job_timeout: Optional[float] = None,
+                 progress: Optional[Callable[[ProgressUpdate], None]]
+                 = None) -> None:
         if disk_cache is None:
             disk_cache = (cache_dir is not None
                           or bool(os.environ.get("REPRO_CACHE_DIR")))
@@ -515,6 +695,7 @@ class SimSession:
             failure_policy, FailurePolicy.FAIL_FAST)
         self.max_retries = max_retries
         self.job_timeout = job_timeout
+        self.progress = progress
         self._memory: Dict[str, Any] = {}
         self._disk_disabled: set = set()  # job types degraded to memory
         self.stats: Dict[str, int] = {
@@ -522,6 +703,12 @@ class SimSession:
             "planned": 0, "unique": 0, "baseline_dedup": 0,
             "failed": 0, "retried": 0, "timed_out": 0}
         self.last_batch: Optional[BatchStats] = None
+        self.obs = MetricsRegistry()
+        """Session-local batch metrics (cache/pool gauges, queue-depth
+        histogram).  Separate from the scoped ``repro.obs`` registry on
+        purpose: wall-clock-dependent gauges like pool utilization
+        would break the serial-vs-pool snapshot identity the scoped
+        registry guarantees.  Read it via :meth:`obs_snapshot`."""
 
     # -- public API ----------------------------------------------------
     def run(self, job: Any) -> Any:
@@ -560,6 +747,7 @@ class SimSession:
         timeout = self._effective_timeout(job_timeout)
         results: List[Any] = [_MISS] * len(jobs)
         pending: "OrderedDict[str, Any]" = OrderedDict()
+        hit_jobs: "OrderedDict[str, Any]" = OrderedDict()
         untokened: List[int] = []
         seen_tokens = set()
         hits = 0
@@ -572,18 +760,32 @@ class SimSession:
             if hit is not _MISS:
                 results[index] = hit
                 hits += 1
+                if token not in hit_jobs:
+                    hit_jobs[token] = job
             elif token not in pending:
                 pending[token] = job
         unique = list(pending.items())
         workers = self._effective_workers(max_workers, len(unique))
         tally = _Tally()
-        if workers > 1 and len(unique) > 1:
-            self._run_pool(unique, workers, retries, timeout, tally)
-        else:
-            self._run_serial(unique, retries, tally)
-        for index in untokened:
-            results[index] = self._run_untokened(jobs[index], retries,
-                                                 tally)
+        # The monitor counts *cells* (distinct work items), not raw
+        # submissions: distinct cache-hit tokens + unique pending
+        # tokens + untokened jobs.
+        monitor = _BatchMonitor(
+            recorder=_obs_spans.active(), progress=self.progress,
+            registry=self.obs, tally=tally,
+            total=len(hit_jobs) + len(unique) + len(untokened))
+        for token, job in hit_jobs.items():
+            monitor.cell_done(token, job, "cache-hit", attempts=0)
+        with monitor.phase("workers", workers=workers):
+            if workers > 1 and len(unique) > 1:
+                self._run_pool(unique, workers, retries, timeout,
+                               tally, monitor)
+            else:
+                self._run_serial(unique, retries, tally,
+                                 monitor=monitor)
+            for index in untokened:
+                results[index] = self._run_untokened(
+                    jobs[index], retries, tally, monitor)
         self.stats["misses"] += len(unique) + len(untokened)
         untokened_failed = sum(
             1 for index in untokened if is_failure(results[index]))
@@ -594,13 +796,18 @@ class SimSession:
             computed=tally.computed,
             failed=len(tally.failures) + untokened_failed,
             retried=tally.retried,
-            timed_out=tally.timed_out)
+            timed_out=tally.timed_out,
+            workers=workers,
+            wall_seconds=monitor.elapsed_s,
+            busy_seconds=monitor.busy_s)
         self.stats["planned"] += self.last_batch.submitted
         self.stats["unique"] += self.last_batch.unique
         self.stats["failed"] += self.last_batch.failed
         self.stats["retried"] += self.last_batch.retried
         self.stats["timed_out"] += self.last_batch.timed_out
         self._publish_failure_metrics(self.last_batch)
+        self._publish_batch_metrics(self.last_batch)
+        monitor.finish(self.last_batch)
         for index, token in enumerate(tokens):
             if results[index] is not _MISS or token is None:
                 continue
@@ -706,11 +913,15 @@ class SimSession:
                           timed_out=timed_out)
 
     def _complete(self, token: str, job: Any, result: Any,
-                  prof_dict: Optional[dict], tally: _Tally) -> None:
+                  prof_dict: Optional[dict], tally: _Tally,
+                  monitor: _BatchMonitor, exec_s: float,
+                  attempts: int) -> None:
         """Fold one finished pool job into the parent, cache included.
 
         Results are stored *as they finish* -- not after the batch --
         so a batch killed halfway resumes from cache on rerun.
+        ``attempts`` counts every execution including the successful
+        one; more than one means the cell's disposition is ``retried``.
         """
         if prof_dict is not None and _profile._ACTIVE is not None:
             _profile._ACTIVE.merge(prof_dict)
@@ -720,50 +931,75 @@ class SimSession:
         self._absorb_observability(result)
         self._store(token, type(job), result)
         tally.computed += 1
+        monitor.cell_done(token, job,
+                          "retried" if attempts > 1 else "computed",
+                          attempts, exec_s=exec_s)
 
     def _run_serial(self, items: List[Tuple[str, Any]], retries: int,
-                    tally: _Tally,
+                    tally: _Tally, monitor: _BatchMonitor,
                     attempts: Optional[Dict[str, int]] = None) -> None:
         """In-process execution with retries (also the pool fallback)."""
         for token, job in items:
             attempt = attempts.get(token, 0) if attempts else 0
+            monitor.job_started(token)
+            exec_s = 0.0
             while True:
+                t0 = perf_counter()
                 try:
                     _maybe_inject_fault(job, attempt)
                     result = job.execute()
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except BaseException as error:  # noqa: BLE001
+                    exec_s += perf_counter() - t0
                     attempt += 1
                     if attempt > retries:
                         tally.failures[token] = self._failure_for(
                             job, token, error, attempt)
+                        monitor.cell_done(token, job, "failed",
+                                          attempt, exec_s=exec_s)
                         break
                     tally.retried += 1
                     continue
+                exec_s += perf_counter() - t0
                 self._store(token, type(job), result)
                 tally.computed += 1
+                monitor.cell_done(
+                    token, job,
+                    "retried" if attempt else "computed",
+                    attempt + 1, exec_s=exec_s)
                 break
 
-    def _run_untokened(self, job: Any, retries: int,
-                       tally: _Tally) -> Any:
+    def _run_untokened(self, job: Any, retries: int, tally: _Tally,
+                       monitor: _BatchMonitor) -> Any:
         """Run one uncacheable job in-process; failures become records."""
         attempt = 0
+        exec_s = 0.0
         while True:
+            t0 = perf_counter()
             try:
                 _maybe_inject_fault(job, attempt)
-                return job.execute()
+                result = job.execute()
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as error:  # noqa: BLE001
+                exec_s += perf_counter() - t0
                 attempt += 1
                 if attempt > retries:
+                    monitor.cell_done(None, job, "failed", attempt,
+                                      exec_s=exec_s)
                     return self._failure_for(job, None, error, attempt)
                 tally.retried += 1
+                continue
+            exec_s += perf_counter() - t0
+            monitor.cell_done(
+                None, job, "retried" if attempt else "computed",
+                attempt + 1, exec_s=exec_s)
+            return result
 
     def _run_pool(self, unique: List[Tuple[str, Any]], workers: int,
                   retries: int, timeout: Optional[float],
-                  tally: _Tally) -> None:
+                  tally: _Tally, monitor: _BatchMonitor) -> None:
         """Per-job-future fan-out with retries, timeout, and recovery.
 
         Each pending job is an individual ``submit()`` future harvested
@@ -787,6 +1023,7 @@ class SimSession:
 
             def submit(token: str):
                 job = pending[token]
+                monitor.job_started(token)
                 return pool.submit(
                     _execute_job,
                     (job, env, want_profile, attempts[token]))
@@ -802,7 +1039,7 @@ class SimSession:
                     token, future = queue.popleft()
                     job = pending[token]
                     try:
-                        result, prof_dict = future.result(
+                        result, prof_dict, exec_s = future.result(
                             timeout=timeout)
                     except FuturesTimeoutError:
                         if future.cancel():
@@ -821,6 +1058,8 @@ class SimSession:
                                 job, token, None, attempts[token],
                                 timed_out=True)
                             del pending[token]
+                            monitor.cell_done(token, job, "timed-out",
+                                              attempts[token])
                         else:
                             tally.retried += 1
                         # The worker behind this future may be wedged;
@@ -838,6 +1077,8 @@ class SimSession:
                             tally.failures[token] = self._failure_for(
                                 job, token, error, attempts[token])
                             del pending[token]
+                            monitor.cell_done(token, job, "failed",
+                                              attempts[token])
                         else:
                             tally.retried += 1
                             try:
@@ -847,7 +1088,8 @@ class SimSession:
                                 break
                         continue
                     self._complete(token, job, result, prof_dict,
-                                   tally)
+                                   tally, monitor, exec_s,
+                                   attempts[token] + 1)
                     del pending[token]
                 if abandon_pool:
                     # Keep every sibling that did finish: drain any
@@ -856,13 +1098,15 @@ class SimSession:
                         if token not in pending or not future.done():
                             continue
                         try:
-                            result, prof_dict = future.result(timeout=0)
+                            result, prof_dict, exec_s = \
+                                future.result(timeout=0)
                         except (KeyboardInterrupt, SystemExit):
                             raise
                         except BaseException:  # noqa: BLE001
                             continue  # handled on the next pool
                         self._complete(token, pending[token], result,
-                                       prof_dict, tally)
+                                       prof_dict, tally, monitor,
+                                       exec_s, attempts[token] + 1)
                         del pending[token]
             finally:
                 pool.shutdown(wait=not abandon_pool,
@@ -871,13 +1115,14 @@ class SimSession:
                 return
             if abandon_pool:
                 breaks += 1
+                monitor.pool_rebuilds += 1
                 if breaks > self._MAX_POOL_REBUILDS:
                     # The pool keeps dying under us; finish what is
                     # left serially in-process, where a raised
                     # exception is at least catchable.
                     items = list(pending.items())
                     pending.clear()
-                    self._run_serial(items, retries, tally,
+                    self._run_serial(items, retries, tally, monitor,
                                      attempts=attempts)
                     return
 
@@ -893,6 +1138,35 @@ class SimSession:
         if batch.timed_out:
             registry.counter("session.jobs_timed_out").inc(
                 batch.timed_out)
+
+    def _publish_batch_metrics(self, batch: BatchStats) -> None:
+        """Publish cache/pool gauges into the *session-local* registry.
+
+        These land in :attr:`obs`, never the scoped ``repro.obs``
+        registry, because hit rate and utilization depend on cache
+        state and wall clock -- folding them into the scoped registry
+        would break the serial-vs-pool snapshot identity guarantee.
+        """
+        registry = self.obs
+        registry.counter("session.jobs_submitted").inc(batch.submitted)
+        registry.counter("session.cache_hits").inc(batch.cache_hits)
+        registry.counter("session.jobs_computed").inc(batch.computed)
+        if batch.failed:
+            registry.counter("session.jobs_failed").inc(batch.failed)
+        if batch.retried:
+            registry.counter("session.jobs_retried").inc(batch.retried)
+        if batch.timed_out:
+            registry.counter("session.jobs_timed_out").inc(
+                batch.timed_out)
+        registry.gauge("session.cache.hit_rate").set(
+            round(100.0 * batch.hit_rate, 1))
+        registry.gauge("session.pool.utilization").set(
+            round(100.0 * batch.utilization, 1))
+        registry.gauge("session.pool.workers").set(batch.workers)
+
+    def obs_snapshot(self) -> dict:
+        """Snapshot of the session-local batch metrics (see :attr:`obs`)."""
+        return self.obs.snapshot()
 
     # -- knob resolution -----------------------------------------------
     def _effective_workers(self, override: Optional[int],
@@ -958,6 +1232,9 @@ class SimSession:
         buffer = _obs_trace._ACTIVE
         if buffer is not None and result.trace_events:
             buffer.extend(result.trace_events)
+        recorder = _obs_spans._ACTIVE
+        if recorder is not None and result.spans:
+            recorder.extend(result.spans)
 
     def _store(self, token: str, job_type: type, result: Any) -> None:
         """Memoise a freshly-computed result (and persist if enabled)."""

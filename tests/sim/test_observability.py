@@ -181,3 +181,78 @@ class TestCliObservability:
         from repro.__main__ import main as cli_main
         assert cli_main(["stats", "tc", "--setup", "nope"]) == 2
         assert "unknown setup" in capsys.readouterr().err
+
+
+class TestCliSessionSpans:
+    @pytest.fixture(autouse=True)
+    def _fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIME_SCALE", "2048")
+
+    def test_trace_out_carries_session_spans(self, tmp_path, capsys):
+        from repro.__main__ import main as cli_main
+        from repro.obs.export import SPAN_PIDS
+        target = tmp_path / "trace.json"
+        assert cli_main(["run", "tc", "lbm", "--setup", "mirza",
+                         "--trace-out", str(target), "--jobs", "2",
+                         "--no-cache"]) == 0
+        payload = json.loads(target.read_text())
+        assert validate_chrome_trace(payload) is None
+        cells = [e for e in payload["traceEvents"]
+                 if e.get("pid") == SPAN_PIDS["session"]
+                 and e.get("ph") == "X"
+                 and e["name"].startswith("cell:")]
+        # Every executed cell appears exactly once, with a disposition.
+        assert sorted(e["name"] for e in cells) == [
+            "cell:lbm/mirza-1000", "cell:tc/mirza-1000"]
+        assert all(e["args"]["disposition"] == "computed"
+                   for e in cells)
+        kernels = [e for e in payload["traceEvents"]
+                   if e.get("pid") == SPAN_PIDS["worker"]
+                   and e.get("ph") == "X"]
+        assert len(kernels) == 2
+
+    def test_stats_includes_session_gauges(self, capsys):
+        from repro.__main__ import main as cli_main
+        assert cli_main(["stats", "tc", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "session.cache.hit_rate" in out
+        assert "session.pool.utilization" in out
+        assert "session.queue_depth" in out
+
+    def test_stats_without_metrics_exits_nonzero(self, monkeypatch,
+                                                 capsys):
+        from repro.__main__ import main as cli_main
+        # Every job fails permanently -> no result carries metrics.
+        monkeypatch.setenv("REPRO_FAULT_RATE", "1.0")
+        status = cli_main(["stats", "tc", "--no-cache",
+                           "--max-retries", "0", "--keep-going"])
+        assert status == 3
+        assert "no metrics were recorded" in capsys.readouterr().err
+
+    def test_progress_flag_renders_line(self, capsys):
+        from repro.__main__ import main as cli_main
+        assert cli_main(["run", "tc", "--setup", "mirza",
+                         "--progress", "--no-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/1] 100%" in err
+        assert "hits 0%" in err
+
+    def test_report_trace_out_writes_valid_span_trace(self, tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+        import repro.report as report_mod
+        from repro.__main__ import main as cli_main
+        from repro.obs.export import SPAN_PIDS
+        monkeypatch.setattr(
+            report_mod, "EXHIBITS",
+            [e for e in report_mod.EXHIBITS if e[2] == "table2"])
+        out_md = tmp_path / "report.md"
+        target = tmp_path / "trace.json"
+        assert cli_main(["report", str(out_md), "--only", "table2",
+                         "--trace-out", str(target),
+                         "--no-cache"]) == 0
+        payload = json.loads(target.read_text())
+        assert validate_chrome_trace(payload) is None
+        assert any(e.get("pid") == SPAN_PIDS["session"]
+                   and e.get("name") == "run_many"
+                   for e in payload["traceEvents"])

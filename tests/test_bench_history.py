@@ -1,0 +1,153 @@
+"""Tests for the benchmark-history trend gate (bench_history.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load(name):
+    path = os.path.join(_ROOT, "benchmarks", f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def hist():
+    return _load("bench_history")
+
+
+def _payload(rps, commit="abc1234", machine="x86_64"):
+    return {
+        "meta": {"time_scale": 4096, "smoke": True,
+                 "backends": ["event"], "python": "3.11",
+                 "machine": machine, "commit": commit,
+                 "timestamp": "2026-08-08T00:00:00+00:00"},
+        "results": {
+            "tc/mirza-1000": {"seconds": 0.1, "requests": 1000,
+                              "activations": 500,
+                              "requests_per_sec": rps,
+                              "activations_per_sec": rps / 2},
+        },
+    }
+
+
+class TestEntryShape:
+    def test_entry_from_payload_carries_meta_and_cells(self, hist):
+        entry = hist.entry_from_payload(_payload(50_000.0))
+        assert entry["commit"] == "abc1234"
+        assert entry["timestamp"].startswith("2026-")
+        assert entry["meta"]["machine"] == "x86_64"
+        assert entry["results"] == {"tc/mirza-1000": 50_000.0}
+
+    def test_explicit_commit_overrides_meta(self, hist):
+        entry = hist.entry_from_payload(_payload(1.0),
+                                        commit="deadbeef")
+        assert entry["commit"] == "deadbeef"
+
+    def test_empty_payload_is_an_error(self, hist):
+        with pytest.raises(ValueError):
+            hist.entry_from_payload({"meta": {}, "results": {}})
+
+
+class TestHistoryFile:
+    def test_append_and_load_round_trip(self, hist, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        a = hist.entry_from_payload(_payload(10_000.0))
+        b = hist.entry_from_payload(_payload(11_000.0))
+        hist.append_entry(path, a)
+        hist.append_entry(path, b)
+        loaded = hist.load_history(path)
+        assert loaded == [a, b]
+
+    def test_missing_file_is_empty_history(self, hist, tmp_path):
+        assert hist.load_history(str(tmp_path / "nope.jsonl")) == []
+
+    def test_malformed_line_is_a_hard_error(self, hist, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"results": {}}\nnot json\n')
+        with pytest.raises(ValueError, match="malformed"):
+            hist.load_history(str(path))
+
+
+class TestRegressionGate:
+    def _history(self, hist, *rps_values, machines=None):
+        machines = machines or ["x86_64"] * len(rps_values)
+        return [hist.entry_from_payload(_payload(rps, machine=m))
+                for rps, m in zip(rps_values, machines)]
+
+    def test_stable_history_passes(self, hist):
+        history = self._history(hist, 50_000.0, 51_000.0, 49_000.0)
+        assert hist.evaluate(history, tolerance=0.25) == []
+
+    def test_regression_beyond_tolerance_is_flagged(self, hist):
+        history = self._history(hist, 50_000.0, 50_000.0, 30_000.0)
+        regressions = hist.evaluate(history, tolerance=0.25)
+        assert len(regressions) == 1
+        assert "tc/mirza-1000" in regressions[0]
+
+    def test_single_entry_passes_trivially(self, hist):
+        history = self._history(hist, 50_000.0)
+        assert hist.evaluate(history, tolerance=0.25) == []
+
+    def test_other_machines_are_not_compared(self, hist):
+        history = self._history(hist, 90_000.0, 30_000.0,
+                                machines=["arm64", "x86_64"])
+        assert hist.evaluate(history, tolerance=0.25) == []
+
+    def test_trend_table_renders_every_cell(self, hist):
+        history = self._history(hist, 50_000.0, 60_000.0)
+        table = hist.trend_table(history)
+        assert "tc/mirza-1000" in table
+        assert "50,000" in table and "60,000" in table
+
+
+class TestCli:
+    def test_check_passes_on_committed_seed(self, hist):
+        seed = os.path.join(_ROOT, "benchmarks",
+                            "BENCH_history.seed.jsonl")
+        assert hist.main(["--check", "--history", seed]) == 0
+
+    def test_check_fails_on_regressed_history(self, hist, tmp_path,
+                                              capsys):
+        path = str(tmp_path / "hist.jsonl")
+        for rps in (50_000.0, 50_000.0, 10_000.0):
+            hist.append_entry(
+                path, hist.entry_from_payload(_payload(rps)))
+        assert hist.main(["--check", "--history", path]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_append_persists_input_run(self, hist, tmp_path):
+        bench = tmp_path / "BENCH_kernel.json"
+        bench.write_text(json.dumps(_payload(42_000.0)))
+        path = str(tmp_path / "hist.jsonl")
+        assert hist.main(["--input", str(bench), "--append",
+                          "--history", path]) == 0
+        assert len(hist.load_history(path)) == 1
+
+    def test_input_without_append_leaves_file_alone(self, hist,
+                                                    tmp_path):
+        bench = tmp_path / "BENCH_kernel.json"
+        bench.write_text(json.dumps(_payload(42_000.0)))
+        path = str(tmp_path / "hist.jsonl")
+        assert hist.main(["--input", str(bench),
+                          "--history", path]) == 0
+        assert hist.load_history(path) == []
+
+    def test_empty_history_without_input_errors(self, hist, tmp_path,
+                                                capsys):
+        path = str(tmp_path / "empty.jsonl")
+        assert hist.main(["--history", path]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_bench_kernel_meta_is_stamped(self):
+        bench = _load("bench_kernel")
+        commit = bench.git_commit()
+        assert isinstance(commit, str) and commit
+        stamp = bench.iso_timestamp()
+        assert "T" in stamp and stamp.endswith("+00:00")
