@@ -123,6 +123,66 @@ def run_suite(scale: SimScale, seed: int, rounds: int,
     return results
 
 
+TRACE_FIXTURE = "tests/fixtures/tc.dramsim3"
+TRACE_SETUP = "mirza-1000"
+
+
+def bench_trace_cells(scale: SimScale, seed: int, rounds: int,
+                      backends: List[str],
+                      results: Dict[str, Dict[str, float]]) -> None:
+    """Bench an ingested-trace replay cell per backend, in place.
+
+    Converts the checked-in DRAMSim3 fixture once, then times
+    ``simulate_trace`` replaying it under ``TRACE_SETUP``.  Cells are
+    keyed ``trace:tc/<setup>`` so the speedup and bit-identity
+    machinery treats them like any other cell.  Import failures skip
+    the cells instead of failing: CI's A/B step runs this script
+    against the *base* library tree, which may predate ingestion.
+    """
+    import os
+    import tempfile
+    try:
+        from repro.sim.runner import simulate_trace
+        from repro.workloads.tracefile import convert_trace
+    except ImportError:
+        print("trace cells skipped (library predates trace "
+              "ingestion)", file=sys.stderr)
+        return
+    fixture = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           os.pardir, *TRACE_FIXTURE.split("/"))
+    if not os.path.isfile(fixture):
+        print(f"trace cells skipped ({TRACE_FIXTURE} not found)",
+              file=sys.stderr)
+        return
+    setup = setup_by_name(TRACE_SETUP, scale)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "tc.trace")
+        convert_trace(fixture, trace, workload="tc", instructions=11)
+        for backend in backends:
+            key = cell_key("trace:tc", TRACE_SETUP, backend)
+            best = float("inf")
+            result = None
+            for _ in range(rounds):
+                t0 = perf_counter()
+                result = simulate_trace(trace, setup, scale,
+                                        seed=seed, backend=backend)
+                best = min(best, perf_counter() - t0)
+            cell = {
+                "seconds": round(best, 4),
+                "requests": result.total_requests,
+                "activations": result.total_activations,
+                "requests_per_sec":
+                    round(result.total_requests / best, 1),
+                "activations_per_sec":
+                    round(result.total_activations / best, 1),
+            }
+            results[key] = cell
+            print(f"{key:<30} {cell['seconds']:8.3f}s "
+                  f"{cell['requests_per_sec']:>12,.0f} req/s "
+                  f"{cell['activations_per_sec']:>12,.0f} act/s",
+                  file=sys.stderr)
+
+
 def annotate_speedups(results: Dict[str, Dict[str, float]]) -> None:
     """Stamp each cell with ``speedup_vs_event`` (1.0 for event cells).
 
@@ -252,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     backends = [b for b in args.backends.split(",") if b]
 
     results = run_suite(scale, args.seed, rounds, workloads, backends)
+    bench_trace_cells(scale, args.seed, rounds, backends, results)
     annotate_speedups(results)
     mismatches = check_backend_identity(results)
     payload = {

@@ -17,6 +17,12 @@ Usage::
     python -m repro stats mcf --setup prac-1000
     python -m repro trace --trace-limit 50000
 
+    python -m repro trace convert tc.dramsim3 tc.trace \\
+        --workload tc --instructions 11    # ingest an external trace
+    python -m repro run tc.trace --setup mirza --backend vector
+                                           # replay it, with the
+                                           # calibration check printed
+
 Bare exhibit names still work (``python -m repro table7`` is shorthand
 for ``python -m repro run table7``).
 
@@ -278,14 +284,26 @@ def _session_for(args: argparse.Namespace) -> SimSession:
         progress=progress)
 
 
+def _is_trace_target(name: str) -> bool:
+    """Path-shaped simulation target: a trace file, not a workload."""
+    return (os.path.sep in name or name.endswith(".trace")
+            or name.endswith(".gz") or os.path.isfile(name))
+
+
 def _run_simulations(args: argparse.Namespace,
                      session: SimSession) -> int:
     """Simulate ``args.targets`` under ``args.setup`` and emit whatever
     observability output the flags asked for (metrics table, Chrome
-    trace, JSON-lines events)."""
+    trace, JSON-lines events).
+
+    Path-shaped targets are replayed as ingested traces
+    (:class:`~repro.sim.session.TraceReplayJob`); when such a trace
+    carries a ``# workload:`` claim, the measured-vs-Table-IV
+    calibration rows are printed after the summary line.
+    """
     from repro.params import SimScale
     from repro.sim.registry import setup_by_name
-    from repro.sim.session import SimJob, is_failure
+    from repro.sim.session import SimJob, TraceReplayJob, is_failure
 
     scale = SimScale(int(os.environ.get("REPRO_TIME_SCALE") or 512))
     seed = int(os.environ.get("REPRO_SEED") or 0)
@@ -296,7 +314,14 @@ def _run_simulations(args: argparse.Namespace,
         return 2
     targets = list(getattr(args, "targets", None)
                    or getattr(args, "exhibits"))
-    jobs = [SimJob(name, setup, scale, seed) for name in targets]
+    try:
+        jobs = [TraceReplayJob.for_path(name, setup, scale, seed)
+                if _is_trace_target(name)
+                else SimJob(name, setup, scale, seed)
+                for name in targets]
+    except OSError as error:
+        print(f"trace target: {error}", file=sys.stderr)
+        return 2
     trace_out = getattr(args, "trace_out", None)
     recorder = None
     if trace_out:
@@ -309,7 +334,7 @@ def _run_simulations(args: argparse.Namespace,
         results = session.run_many(jobs)
     status = 0
 
-    for name, result in zip(targets, results):
+    for name, job, result in zip(targets, jobs, results):
         if is_failure(result):
             print(f"{name}: FAILED — {result.describe()}",
                   file=sys.stderr)
@@ -319,6 +344,21 @@ def _run_simulations(args: argparse.Namespace,
         print(f"{name}: setup={args.setup} requests="
               f"{result.total_requests} acts={result.total_activations}"
               f" row-hit={result.row_hit_rate:.3f} mean-ipc={ipc:.3f}")
+        if isinstance(job, TraceReplayJob) and job.workload:
+            from repro.workloads.specs import workload_by_name
+            from repro.workloads.tracefile import calibration_report
+            try:
+                spec = workload_by_name(job.workload)
+            except KeyError:
+                print(f"{name}: claims unknown workload "
+                      f"{job.workload!r}; skipping calibration",
+                      file=sys.stderr)
+                continue
+            for label, measured, paper, ok in \
+                    calibration_report(result, spec):
+                print(f"calibration[{job.workload}]: {label} "
+                      f"measured {measured:.1f}, paper {paper} -> "
+                      f"{'ok' if ok else 'DEV'}")
     results = [r for r in results if not is_failure(r)]
 
     snapshots = [r.metrics for r in results if r.metrics]
@@ -371,6 +411,67 @@ def _trace_capture(trace_out):
           file=sys.stderr)
 
 
+def _trace_convert(argv: List[str]) -> int:
+    """The ``repro trace convert`` verb: external trace -> native.
+
+    Handled before the argparse tree because ``trace`` is otherwise
+    the Perfetto-tracing subcommand; ``trace convert`` is the only
+    form with a second positional verb, so the dispatch is
+    unambiguous.
+    """
+    from repro.workloads.tracefile import TRACE_FORMATS, convert_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace convert",
+        description="Convert an external memory trace (DRAMSim3 "
+                    "command trace, litex row list) into the native "
+                    "replayable format.  '.gz' inputs and outputs "
+                    "are compressed transparently.")
+    parser.add_argument("input", help="source trace file")
+    parser.add_argument("output", help="native trace to write")
+    parser.add_argument(
+        "--format", default="auto", metavar="FMT",
+        choices=("auto",) + TRACE_FORMATS,
+        help="input format: auto (from the suffix), native, "
+             "dramsim3, or litex-rows (default: auto)")
+    parser.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="Table IV spec this trace claims to represent; recorded "
+             "as '# workload:' metadata for the calibration check")
+    parser.add_argument(
+        "--instructions", type=int, default=1, metavar="N",
+        help="instructions attributed to each miss (Table IV: "
+             "round(1000 / L3-MPKI); default: 1)")
+    parser.add_argument(
+        "--cycle-ps", type=int, default=None, metavar="PS",
+        help="picoseconds per trace cycle for dramsim3 timestamps "
+             "(default: 833, i.e. a 1.2 GHz command clock)")
+    parser.add_argument(
+        "--bank", type=int, default=0, metavar="N",
+        help="bank for litex-rows entries (default: 0)")
+    parser.add_argument(
+        "--subchannel", type=int, default=0, metavar="N",
+        help="subchannel for litex-rows entries (default: 0)")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+    kwargs = {}
+    if args.cycle_ps is not None:
+        kwargs["cycle_ps"] = args.cycle_ps
+    try:
+        count = convert_trace(
+            args.input, args.output, fmt=args.format,
+            workload=args.workload, instructions=args.instructions,
+            bank=args.bank, subchannel=args.subchannel, **kwargs)
+    except (OSError, ValueError) as error:
+        print(f"trace convert: {error}", file=sys.stderr)
+        return 2
+    claim = f" (workload: {args.workload})" if args.workload else ""
+    print(f"wrote {count} entries to {args.output}{claim}")
+    return 0
+
+
 def _run_experiments(names: List[str], session: SimSession) -> int:
     """Plan the named experiment declarations as one deduplicated
     batch, then print each rendered table with its declared
@@ -415,6 +516,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if argv[0] == "help":
         argv[0] = "--help"
+    if argv[:2] == ["trace", "convert"]:
+        return _trace_convert(argv[2:])
     # Back-compat: a bare exhibit name is shorthand for `run <name>`.
     if argv[0] not in _SUBCOMMANDS and not argv[0].startswith("-"):
         argv.insert(0, "run")

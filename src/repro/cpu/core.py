@@ -32,18 +32,22 @@ from repro.obs import metrics as _metrics
 class Core:
     """One trace-driven core."""
 
-    __slots__ = ("core_id", "trace", "mlp", "clock",
+    __slots__ = ("core_id", "trace", "mlp", "tenant", "clock",
                  "retired_instructions", "misses_issued", "_outstanding",
                  "_chunks", "_buf", "_idx", "_m_stall_ps",
                  "_m_outstanding")
 
     def __init__(self, core_id: int, trace: Iterator[TraceEntry],
-                 mlp: int = 8) -> None:
+                 mlp: int = 8, tenant: Optional[str] = None) -> None:
         if mlp < 1:
             raise ValueError("mlp must be >= 1")
         self.core_id = core_id
         self.trace = trace
         self.mlp = mlp
+        self.tenant = tenant
+        """Tenant this core belongs to (None outside multi-tenant
+        scenarios); pure identity metadata, never consulted by the
+        timing model."""
         self.clock = 0
         self.retired_instructions = 0
         self.misses_issued = 0

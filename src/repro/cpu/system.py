@@ -50,6 +50,11 @@ class SimResult:
     backend: Optional[str] = None
     """Kernel backend that produced this result (None = pre-backend
     payloads; backends are bit-identical, so this is pure metadata)."""
+    tenants: Optional[List[Optional[str]]] = None
+    """Per-core tenant names (None outside multi-tenant scenarios)."""
+    unmitigated_by_bank: Optional[List[List[int]]] = None
+    """Per-subchannel, per-bank worst unmitigated-ACT counts (escape
+    exposure; ``max_unmitigated_acts`` is the max over this table)."""
 
     def weighted_speedup(self, baseline: "SimResult") -> float:
         """Sum of per-core IPC ratios against ``baseline`` (Section III)."""
@@ -90,6 +95,67 @@ class SimResult:
             * geometry.subarrays_per_bank
         return self.total_activations / total_subarrays
 
+    def tenant_names(self) -> List[str]:
+        """Distinct tenant names, in first-core order."""
+        names: List[str] = []
+        for name in self.tenants or []:
+            if name is not None and name not in names:
+                names.append(name)
+        return names
+
+    def _tenant_cores(self, tenant: str) -> List[int]:
+        return [i for i, name in enumerate(self.tenants or [])
+                if name == tenant]
+
+    def tenant_instructions(self) -> dict:
+        """Instructions retired per tenant."""
+        return {name: sum(self.instructions[i]
+                          for i in self._tenant_cores(name))
+                for name in self.tenant_names()}
+
+    def tenant_ipc(self) -> dict:
+        """Mean per-core IPC of each tenant's cores."""
+        out = {}
+        for name in self.tenant_names():
+            cores = self._tenant_cores(name)
+            out[name] = sum(self.ipc[i] for i in cores) / len(cores)
+        return out
+
+    def tenant_slowdown_pct(self, baseline: "SimResult",
+                            tenant: str) -> float:
+        """Percent slowdown of one tenant's cores vs ``baseline``.
+
+        The per-core IPC-ratio mean restricted to the tenant's cores
+        (the victim-slowdown metric of the inter-VM sweep).  Core
+        indices must line up: the baseline should be the same scenario
+        shape run under a reference setup/pressure.
+        """
+        cores = [i for i in self._tenant_cores(tenant)
+                 if baseline.ipc[i] > 0]
+        if not cores:
+            return 0.0
+        ratio = sum(self.ipc[i] / baseline.ipc[i]
+                    for i in cores) / len(cores)
+        return 100.0 * (1.0 - ratio)
+
+    def tenant_exposure(self, footprints: dict) -> dict:
+        """Worst unmitigated-ACT count inside each tenant's footprint.
+
+        ``footprints`` maps tenant name to ``(subchannel, bank)``
+        pairs (see
+        :func:`repro.workloads.tenants.scenario_footprints`); the
+        escape exposure of a tenant is the worst oracle count over the
+        banks it can reach.  Requires ``unmitigated_by_bank`` (any
+        result collected at or after cache format 4).
+        """
+        table = self.unmitigated_by_bank or []
+        out = {}
+        for name, banks in footprints.items():
+            out[name] = max((table[s][b] for s, b in banks
+                             if s < len(table) and b < len(table[s])),
+                            default=0)
+        return out
+
 
 TraceFactory = Callable[[int], Iterator[TraceEntry]]
 TrackerFactoryForBank = Callable[[int, int], BankTracker]
@@ -108,7 +174,8 @@ class MultiCoreSystem:
                  mlp: int = 8,
                  blast_radius: int = 2,
                  record_commands: bool = False,
-                 drfm_factory=None) -> None:
+                 drfm_factory=None,
+                 tenants: Optional[List[Optional[str]]] = None) -> None:
         self.config = config
         self.devices: List[DramDevice] = []
         self.mcs: List[MemoryController] = []
@@ -132,8 +199,16 @@ class MultiCoreSystem:
             self.mcs.append(MemoryController(config, device, rfm_bat,
                                              command_log=log,
                                              drfm=drfm, subch=subch))
+        self._tenants = list(tenants) if tenants is not None else None
+        if self._tenants is not None and \
+                len(self._tenants) != config.num_cores:
+            raise ValueError(
+                f"tenants has {len(self._tenants)} labels for "
+                f"{config.num_cores} cores")
         self.cores: List[Core] = [
-            Core(i, trace_factory(i), mlp) for i in range(config.num_cores)]
+            Core(i, trace_factory(i), mlp,
+                 tenant=self._tenants[i] if self._tenants else None)
+            for i in range(config.num_cores)]
 
     def run(self, window_ps: int) -> SimResult:
         """Simulate ``window_ps`` picoseconds; return the measurements."""
@@ -223,4 +298,12 @@ class MultiCoreSystem:
             d.stats.demand_rows_refreshed for d in self.devices)
         result.max_unmitigated_acts = max(
             d.max_unmitigated_acts() for d in self.devices)
+        # Per-bank exposure and tenant labels are gathered here, after
+        # every backend's deferred bookkeeping has flushed, so the
+        # additions stay backend-neutral for free.
+        result.unmitigated_by_bank = [
+            [bank.oracle.max_unmitigated for bank in d.banks]
+            for d in self.devices]
+        if self._tenants is not None:
+            result.tenants = list(self._tenants)
         return result

@@ -1,6 +1,6 @@
-"""Address mappings: MOP4 physical-address decoding and row-to-subarray.
+"""Address mappings: MOP4 decoding, row-to-subarray, address spaces.
 
-Two distinct mappings live here:
+Three distinct mappings live here:
 
 1. :class:`AddressMapping` -- how the memory controller splits a physical
    address into (subchannel, bank, row, column).  We implement the
@@ -12,6 +12,15 @@ Two distinct mappings live here:
    what decides whether coarse-grained filtering sees workload locality
    concentrated (Sequential) or spread out (Strided).
 
+3. :class:`AddressSpace` -- how a workload source's *logical* trace
+   coordinates land on the shared physical ``(subchannel, bank, row)``
+   geometry.  Every tenant in a multi-tenant scenario gets its own
+   address space, so co-located attacker and victim streams hit the
+   same banks through different row mappings (the inter-VM setting).
+   :class:`BitFieldDecoder` is the companion litex
+   ``DRAMAddressConverter``-style codec used by trace ingestion to
+   split raw byte addresses into those coordinates.
+
 The reproduction works in terms of a bank-local **physical row index**
 ``p`` in ``[0, rows_per_bank)``: ``p // rows_per_subarray`` is the
 subarray, ``p % rows_per_subarray`` the position inside it.  Rowhammer
@@ -21,8 +30,9 @@ row number.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 try:
     import numpy as _np
@@ -273,3 +283,280 @@ class StridedR2SA(RowToSubarrayMapping):
         physical = _np.arange(start, end, dtype=_np.int64)
         return ((physical % g.rows_per_subarray) * g.subarrays_per_bank
                 + physical // g.rows_per_subarray)
+
+
+class AddressSpace:
+    """Per-tenant translation of logical trace coordinates to geometry.
+
+    Workload sources emit *logical* ``(subchannel, bank, row)`` tuples;
+    an address space decides where those land physically.  Identity is
+    the classic single-tenant case.  Non-identity spaces model distinct
+    guest physical maps sharing one device: the translation is a
+    bijection per coordinate (rows within a bank, banks within a
+    subchannel), so two tenants never alias unless their spaces do.
+
+    Both a scalar path (:meth:`translate`, consumed entry-at-a-time by
+    the event kernel's chunk pipeline) and a numpy path
+    (:meth:`translate_arrays`, consumed by the array/vector chunk fast
+    path) are provided, and they must agree element-for-element -- that
+    is what keeps the event/array/vector backends bit-identical when a
+    translated workload runs under each.  Rows and banks outside the
+    geometry are reduced modulo the geometry first, in both paths.
+    """
+
+    name = "identity"
+
+    def __init__(self, geometry: DramGeometry = DramGeometry()) -> None:
+        self.geometry = geometry
+
+    def translate(self, subchannel: int, bank: int, row: int
+                  ) -> Tuple[int, int, int]:
+        """Physical ``(subchannel, bank, row)`` of one logical tuple."""
+        raise NotImplementedError
+
+    def translate_arrays(self, subchannels, banks, rows):
+        """Array twin of :meth:`translate` over parallel ndarrays.
+
+        The base implementation round-trips through the scalar path so
+        custom subclasses only have to write :meth:`translate`;
+        built-in spaces override it with ufunc arithmetic or a single
+        fancy-indexed gather.
+        """
+        out_s = _np.empty(len(subchannels), dtype=_np.int64)
+        out_b = _np.empty(len(banks), dtype=_np.int64)
+        out_r = _np.empty(len(rows), dtype=_np.int64)
+        translate = self.translate
+        for i, (s, b, r) in enumerate(zip(subchannels.tolist(),
+                                          banks.tolist(),
+                                          rows.tolist())):
+            out_s[i], out_b[i], out_r[i] = translate(s, b, r)
+        return out_s, out_b, out_r
+
+
+class IdentityAddressSpace(AddressSpace):
+    """Logical coordinates *are* physical coordinates (single tenant)."""
+
+    name = "identity"
+
+    def translate(self, subchannel: int, bank: int, row: int
+                  ) -> Tuple[int, int, int]:
+        return (subchannel, bank, row)
+
+    def translate_arrays(self, subchannels, banks, rows):
+        # Identity: the inputs are the answer; callers treat results
+        # as read-only, so no copies are taken.
+        return subchannels, banks, rows
+
+
+class StridedAddressSpace(AddressSpace):
+    """Modular-affine row remap with an optional bank rotation.
+
+    Logical row ``r`` lands at ``(r * stride + row_offset) % rows`` and
+    logical bank ``b`` at ``(b + bank_offset) % banks``.  ``stride``
+    must be odd: row counts are powers of two, so odd strides (and only
+    odd strides) make the affine map a bijection.  A stride of 1 with a
+    nonzero offset models a simple base-offset guest mapping; larger
+    strides interleave a tenant's consecutive rows across the bank.
+    """
+
+    name = "strided"
+
+    def __init__(self, geometry: DramGeometry = DramGeometry(),
+                 stride: int = 1, row_offset: int = 0,
+                 bank_offset: int = 0) -> None:
+        super().__init__(geometry)
+        if stride % 2 == 0:
+            raise ValueError(
+                f"stride must be odd for a bijective row map over a "
+                f"power-of-two bank, got {stride}")
+        self.stride = stride
+        self.row_offset = row_offset
+        self.bank_offset = bank_offset
+
+    def translate(self, subchannel: int, bank: int, row: int
+                  ) -> Tuple[int, int, int]:
+        g = self.geometry
+        return (subchannel,
+                (bank + self.bank_offset) % g.banks_per_subchannel,
+                (row * self.stride + self.row_offset) % g.rows_per_bank)
+
+    def translate_arrays(self, subchannels, banks, rows):
+        g = self.geometry
+        return (subchannels,
+                (banks + self.bank_offset) % g.banks_per_subchannel,
+                (rows * self.stride + self.row_offset) % g.rows_per_bank)
+
+
+class PermutedAddressSpace(AddressSpace):
+    """Seeded pseudo-random bijection of rows and banks.
+
+    A precomputed permutation table (one shuffle of ``rows_per_bank``
+    entries, shared by all banks, plus a bank shuffle) models a guest
+    whose physical frames were allocated with no structure at all --
+    the adversarial placement for locality-based arguments.  The same
+    seed always yields the same table, so results are reproducible and
+    cacheable; distinct seeds give tenants disjoint-looking layouts.
+    """
+
+    name = "permuted"
+
+    def __init__(self, geometry: DramGeometry = DramGeometry(),
+                 seed: int = 0) -> None:
+        super().__init__(geometry)
+        self.seed = seed
+        # Mix the seed so spaces don't correlate with other consumers
+        # of small integer seeds; int seeding is hash-stable across
+        # processes (str/tuple seeding is not).
+        rng = random.Random(0x5EED_AD0 ^ (seed * 0x9E37_79B1))
+        row_table = list(range(geometry.rows_per_bank))
+        rng.shuffle(row_table)
+        bank_table = list(range(geometry.banks_per_subchannel))
+        rng.shuffle(bank_table)
+        self._row_table = row_table
+        self._bank_table = bank_table
+        if _np is not None:
+            self._row_table_np = _np.asarray(row_table, dtype=_np.int64)
+            self._bank_table_np = _np.asarray(bank_table,
+                                              dtype=_np.int64)
+
+    def translate(self, subchannel: int, bank: int, row: int
+                  ) -> Tuple[int, int, int]:
+        g = self.geometry
+        return (subchannel,
+                self._bank_table[bank % g.banks_per_subchannel],
+                self._row_table[row % g.rows_per_bank])
+
+    def translate_arrays(self, subchannels, banks, rows):
+        g = self.geometry
+        return (subchannels,
+                self._bank_table_np[banks % g.banks_per_subchannel],
+                self._row_table_np[rows % g.rows_per_bank])
+
+
+@dataclass(frozen=True)
+class AddressSpaceSpec:
+    """Describable recipe for an :class:`AddressSpace`.
+
+    Session jobs must be describable (plain comparable fields, no
+    bound tables), so tenants and trace-replay jobs carry this spec
+    and :meth:`build` the concrete space -- permutation tables and all
+    -- at execution time.
+    """
+
+    kind: str = "identity"
+    stride: int = 1
+    row_offset: int = 0
+    bank_offset: int = 0
+    seed: int = 0
+
+    def build(self, geometry: DramGeometry = DramGeometry()
+              ) -> AddressSpace:
+        """Instantiate the described space over ``geometry``."""
+        return make_address_space(self, geometry)
+
+
+def make_address_space(spec: AddressSpaceSpec,
+                       geometry: DramGeometry = DramGeometry()
+                       ) -> AddressSpace:
+    """Concrete address space for ``spec`` over ``geometry``."""
+    if spec.kind == "identity":
+        return IdentityAddressSpace(geometry)
+    if spec.kind == "strided":
+        return StridedAddressSpace(geometry, stride=spec.stride,
+                                   row_offset=spec.row_offset,
+                                   bank_offset=spec.bank_offset)
+    if spec.kind == "permuted":
+        return PermutedAddressSpace(geometry, seed=spec.seed)
+    raise ValueError(
+        f"unknown address-space kind {spec.kind!r}; expected one of "
+        f"'identity', 'strided', 'permuted'")
+
+
+class BitFieldDecoder:
+    """litex ``DRAMAddressConverter``-style bit-field address codec.
+
+    Splits a byte-granularity address into named DRAM coordinate
+    fields laid out LSB-to-MSB after a fixed line-offset shift.  Trace
+    ingestion uses it to turn DRAMSim3-style command addresses into
+    native ``(subchannel, bank, row)`` tuples; :meth:`encode_bus` is
+    the inverse, mirroring litex's ``converter.encode_bus(bank=...,
+    row=..., col=...)`` idiom, and is what the test fixtures are built
+    with.
+    """
+
+    def __init__(self, fields: Sequence[Tuple[str, int]],
+                 line_bytes: int = 64) -> None:
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        for name, bits in fields:
+            if bits <= 0:
+                raise ValueError(
+                    f"field {name!r} must span at least one bit")
+        self.fields = tuple((str(name), int(bits))
+                            for name, bits in fields)
+        self.line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1
+
+    @classmethod
+    def for_geometry(cls, geometry: DramGeometry = DramGeometry(),
+                     line_bytes: int = 64) -> "BitFieldDecoder":
+        """The natural ``[column][subchannel][bank][row]`` layout.
+
+        Column bits cover one row's cache lines, subchannel and bank
+        bits sit above them, and row bits occupy the top -- the layout
+        the repo's trace fixtures are encoded with.
+        """
+        lines_per_row = geometry.row_bytes // line_bytes
+        return cls(
+            fields=(
+                ("column", (lines_per_row - 1).bit_length()),
+                ("subchannel", (geometry.subchannels - 1).bit_length()),
+                ("bank",
+                 (geometry.banks_per_subchannel - 1).bit_length()),
+                ("row", (geometry.rows_per_bank - 1).bit_length()),
+            ),
+            line_bytes=line_bytes)
+
+    @property
+    def width(self) -> int:
+        """Total significant byte-address bits (fields + line offset)."""
+        return sum(bits for _, bits in self.fields) + self._line_shift
+
+    def decode(self, address: int) -> Dict[str, int]:
+        """Field values of one byte address, keyed by field name."""
+        value = address >> self._line_shift
+        decoded: Dict[str, int] = {}
+        for name, bits in self.fields:
+            decoded[name] = value & ((1 << bits) - 1)
+            value >>= bits
+        return decoded
+
+    def decode_arrays(self, addresses) -> Dict[str, "object"]:
+        """Array twin of :meth:`decode` over an int64 ndarray."""
+        value = _np.asarray(addresses, dtype=_np.int64) >> \
+            self._line_shift
+        decoded = {}
+        for name, bits in self.fields:
+            decoded[name] = value & ((1 << bits) - 1)
+            value = value >> bits
+        return decoded
+
+    def encode_bus(self, **field_values: int) -> int:
+        """Byte address with the named fields set (inverse of decode).
+
+        Unknown field names are rejected; omitted fields default to 0.
+        """
+        unknown = set(field_values) - {n for n, _ in self.fields}
+        if unknown:
+            raise ValueError(
+                f"unknown field(s) {sorted(unknown)}; decoder has "
+                f"{[n for n, _ in self.fields]}")
+        value = 0
+        for name, bits in reversed(self.fields):
+            field = field_values.get(name, 0)
+            if field >> bits:
+                raise ValueError(
+                    f"field {name!r} value {field} does not fit in "
+                    f"{bits} bits")
+            value = (value << bits) | field
+        return value << self._line_shift

@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401
     fig11,
     fig13,
     framework,
+    intervm,
     table1,
     table2,
     table4,
@@ -39,10 +40,11 @@ from repro.experiments import (  # noqa: F401
     table11,
     table12,
     table13,
+    tracecal,
 )
 
 __all__ = [
-    "extras", "framework",
+    "extras", "framework", "intervm", "tracecal",
     "fig1", "fig3", "fig6", "fig11", "fig13",
     "table1", "table2", "table4", "table5", "table6", "table7",
     "table8", "table9", "table10", "table11", "table12", "table13",

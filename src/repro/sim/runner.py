@@ -344,15 +344,35 @@ def simulate(workload: Union[str, WorkloadSpec],
     cached workload, so probe traffic must never be counted.
     """
     spec = _resolve(workload)
-    sys_config = (config.with_prac_timings() if setup.use_prac_timings
-                  else config)
     # Calibration must run with the sinks *uninstalled*, not merely
-    # outside the collecting scope below: probe systems would otherwise
-    # prefetch the caller's registry and count their traffic into it
-    # (only in-process -- pool workers calibrate with no sink), which
-    # would break the serial/parallel snapshot identity.
+    # outside the collecting scope in _run_kernel: probe systems would
+    # otherwise prefetch the caller's registry and count their traffic
+    # into it (only in-process -- pool workers calibrate with no
+    # sink), which would break the serial/parallel snapshot identity.
     with _obs.suppressed():
         synthetic = calibrated_workload(spec, scale, seed, config)
+    return simulate_source(synthetic, setup, scale, seed=seed,
+                           config=config, backend=backend)
+
+
+def simulate_source(source, setup: MitigationSetup,
+                    scale: SimScale = SimScale(64),
+                    seed: int = 0,
+                    config: SystemConfig = SystemConfig(),
+                    backend: Union[str, "KernelBackend", None] = None,
+                    tenants=None) -> SimResult:
+    """Simulate one window of an arbitrary ``WorkloadSource``.
+
+    The source-agnostic half of :func:`simulate`: wires the system for
+    ``setup`` around ``source`` (anything satisfying the
+    :class:`~repro.workloads.WorkloadSource` seam -- calibrated
+    synthetics, trace files, tenant compositions) and hands it to the
+    kernel backend under the same observability scoping.  ``tenants``
+    is the optional per-core tenant label list threaded into the
+    system and back out on the result.
+    """
+    sys_config = (config.with_prac_timings() if setup.use_prac_timings
+                  else config)
     tracker_factory = None
     if setup.tracker_factory is not None:
         tracker_factory = (  # noqa: E731
@@ -365,16 +385,30 @@ def simulate(workload: Union[str, WorkloadSpec],
     def build() -> MultiCoreSystem:
         return MultiCoreSystem(
             sys_config,
-            trace_factory=synthetic.trace_factory(),
+            trace_factory=source.trace_factory(),
             tracker_factory=tracker_factory,
             mapping_factory=lambda: setup.make_mapping(sys_config),
             rfm_bat=setup.rfm_bat,
             refs_per_window=scale.scaled_refs_per_window(config.timings),
-            mlp=synthetic.mlp,
+            mlp=source.mlp,
             drfm_factory=drfm_factory,
+            tenants=tenants,
         )
 
     window = scale.scaled_trefw(config.timings)
+    return _run_kernel(build, window, backend)
+
+
+def _run_kernel(build: Callable[[], MultiCoreSystem], window: int,
+                backend: Union[str, "KernelBackend", None]
+                ) -> SimResult:
+    """Resolve the backend and run ``build()`` over ``window``.
+
+    The shared execution tail of every simulate entry point: when
+    observability is requested, collection is scoped over system
+    construction and the run only, and the snapshot/events/spans are
+    attached to the result.
+    """
     kernel = _backend.resolve_backend(backend)
     collect_metrics = _obs.metrics_requested()
     collect_trace = _obs.trace_requested()
@@ -403,6 +437,92 @@ def simulate(workload: Union[str, WorkloadSpec],
     result.trace_events = col.trace_events()
     result.spans = col.spans_list()
     return result
+
+
+def synthesize_trace(workload: Union[str, WorkloadSpec],
+                     scale: SimScale = SimScale(64),
+                     seed: int = 0,
+                     config: SystemConfig = SystemConfig(),
+                     entries: Optional[int] = None):
+    """A finite native trace sampled from a calibrated workload.
+
+    Materialises roughly one window's worth of core-0 entries (or
+    exactly ``entries`` of them) from the calibrated synthetic
+    generator -- the repo's own stand-in for an externally recorded
+    trace, used by the trace-calibration exhibit to close the loop
+    ingestion -> replay -> Table IV check without shipping large
+    fixtures.
+    """
+    from repro.cpu.trace import take
+    spec = _resolve(workload)
+    with _obs.suppressed():
+        synthetic = calibrated_workload(spec, scale, seed, config)
+    if entries is None:
+        # Expected in-window misses across the machine: the per-bank
+        # activation budget times banks, deflated by ACTs-per-miss.
+        acts = (scale.scale_count(spec.acts_per_bank_per_window)
+                * config.geometry.total_banks)
+        entries = max(64, int(acts * spec.l3_mpki
+                              / max(spec.act_pki, 1e-9)))
+    return take(synthetic.trace(0), entries)
+
+
+def simulate_trace(trace, setup: MitigationSetup,
+                   scale: SimScale = SimScale(64),
+                   seed: int = 0,
+                   config: SystemConfig = SystemConfig(),
+                   backend: Union[str, "KernelBackend", None] = None,
+                   mlp: int = 8,
+                   address_space=None) -> SimResult:
+    """Replay an ingested trace through one simulated window.
+
+    ``trace`` is a native trace path (``.gz``-aware), a list of
+    :class:`~repro.cpu.trace.TraceEntry`, or a prebuilt
+    :class:`~repro.workloads.tracefile.TraceFileWorkload`.  Paths and
+    entry lists are wrapped in shard mode -- each core replays a
+    contiguous slice -- so a converted trace's MPKI/ACT-PKI structure
+    survives multi-core replay.  Coordinates are routed through
+    ``address_space`` when given.
+    """
+    from repro.workloads.tracefile import TraceFileWorkload
+    if isinstance(trace, TraceFileWorkload):
+        source = trace
+    else:
+        source = TraceFileWorkload(
+            trace, mlp=mlp, per_core="shard",
+            address_space=address_space,
+            geometry=config.geometry,
+            shard_cores=config.num_cores)
+    return simulate_source(source, setup, scale, seed=seed,
+                           config=config, backend=backend)
+
+
+def simulate_tenants(scenario, setup: MitigationSetup,
+                     scale: SimScale = SimScale(64),
+                     seed: int = 0,
+                     config: SystemConfig = SystemConfig(),
+                     backend: Union[str, "KernelBackend", None] = None
+                     ) -> SimResult:
+    """Simulate a multi-tenant scenario through one window.
+
+    Victim tenants get *calibrated* synthetic sources (same closed
+    loop as :func:`simulate`), attackers run their hammer kernels, and
+    every tenant's stream is routed through its own address space.
+    The result carries per-core tenant labels, so per-tenant IPC,
+    slowdown, and escape exposure read straight off it.
+    """
+    from repro.workloads.tenants import TenantWorkload
+    with _obs.suppressed():
+        sources = {
+            tenant.name: calibrated_workload(tenant.workload, scale,
+                                             seed, config)
+            for tenant in scenario.tenants if tenant.workload}
+    workload = TenantWorkload(scenario, config, scale, seed=seed,
+                              sources=sources)
+    return simulate_source(
+        workload, setup, scale, seed=seed, config=config,
+        backend=backend,
+        tenants=workload.tenant_labels(config.num_cores))
 
 
 def run_workload(workload: Union[str, WorkloadSpec],

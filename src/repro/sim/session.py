@@ -91,13 +91,16 @@ from repro.params import (
 )
 from repro.workloads.specs import WorkloadSpec, workload_by_name
 
-CACHE_FORMAT = 3
+CACHE_FORMAT = 4
 """Bump when job hashing or result serialization changes shape.
 
 Format 2: :class:`SimResult` grew optional ``metrics`` and
 ``trace_events`` fields (PR 3's observability subsystem).
 Format 3: :class:`SimResult` grew the optional ``spans`` field
 (session-level span tracing).
+Format 4: :class:`SimResult` grew optional ``tenants`` and
+``unmitigated_by_bank`` fields; :class:`TenantJob` and
+:class:`TraceReplayJob` joined the cacheable job types.
 """
 
 _MISS = object()
@@ -416,7 +419,99 @@ def decode_sim_result(payload: Dict[str, Any]) -> SimResult:
     return SimResult(**data)
 
 
+@dataclasses.dataclass(frozen=True)
+class TenantJob:
+    """One multi-tenant scenario run (see ``repro.workloads.tenants``).
+
+    ``scenario`` is a :class:`~repro.workloads.tenants.TenantScenario`
+    -- typed ``Any`` so this module never imports the workloads
+    package (which would cycle through ``repro.workloads.tenants``);
+    it is a frozen dataclass tree, so :func:`describe` hashes it by
+    content like any other job field.
+    """
+
+    scenario: Any  # a repro.workloads.tenants.TenantScenario
+    setup: Any  # a repro.sim.runner.MitigationSetup
+    scale: SimScale = SimScale(64)
+    seed: int = 0
+    config: SystemConfig = SystemConfig()
+
+    @property
+    def workload(self) -> str:
+        """Scenario label, so :func:`job_label` renders
+        ``scenario/setup``."""
+        return self.scenario.label()
+
+    def execute(self) -> SimResult:
+        """Run the scenario, uncached (the worker-process path)."""
+        from repro.sim.runner import simulate_tenants
+        return simulate_tenants(self.scenario, self.setup, self.scale,
+                                self.seed, self.config)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceReplayJob:
+    """One ingested-trace replay run.
+
+    ``trace_path`` names a native trace to replay (sharded across the
+    cores; see :func:`repro.sim.runner.simulate_trace`).  When it is
+    ``None``, a trace is synthesized from the calibrated ``workload``
+    generator instead -- the self-contained mode the trace-calibration
+    exhibit uses.  ``content_digest`` folds the file's bytes into the
+    cache token so editing a trace in place never serves stale
+    results; build path-based jobs with :meth:`for_path`.
+    """
+
+    trace_path: Optional[str]
+    workload: Optional[str]
+    setup: Any  # a repro.sim.runner.MitigationSetup
+    scale: SimScale = SimScale(64)
+    seed: int = 0
+    config: SystemConfig = SystemConfig()
+    mlp: int = 8
+    content_digest: Optional[str] = None
+
+    @classmethod
+    def for_path(cls, trace_path: str, setup: Any,
+                 scale: SimScale = SimScale(64), seed: int = 0,
+                 config: SystemConfig = SystemConfig(),
+                 mlp: int = 8,
+                 workload: Optional[str] = None) -> "TraceReplayJob":
+        """A replay job for a trace file, digest and metadata filled.
+
+        Reads the ``# workload:`` metadata claim (unless overridden)
+        and hashes the file content into the job identity.
+        """
+        from repro.workloads.tracefile import trace_metadata
+        if workload is None:
+            workload = trace_metadata(trace_path).get("workload")
+        digest = hashlib.sha256()
+        with open(trace_path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(block)
+        return cls(trace_path=trace_path, workload=workload,
+                   setup=setup, scale=scale, seed=seed, config=config,
+                   mlp=mlp, content_digest=digest.hexdigest())
+
+    def execute(self) -> SimResult:
+        """Replay the trace, uncached (the worker-process path)."""
+        from repro.sim.runner import simulate_trace, synthesize_trace
+        if self.trace_path is not None:
+            trace = self.trace_path
+        else:
+            if self.workload is None:
+                raise ValueError(
+                    "TraceReplayJob needs a trace_path or a workload "
+                    "to synthesize from")
+            trace = synthesize_trace(self.workload, self.scale,
+                                     self.seed, self.config)
+        return simulate_trace(trace, self.setup, self.scale,
+                              self.seed, self.config, mlp=self.mlp)
+
+
 register_job_type(SimJob, encode_sim_result, decode_sim_result)
+register_job_type(TenantJob, encode_sim_result, decode_sim_result)
+register_job_type(TraceReplayJob, encode_sim_result, decode_sim_result)
 
 
 def _execute(job: Any) -> Any:

@@ -37,7 +37,29 @@ from repro.workloads.specs import (
     workload_by_name,
 )
 from repro.workloads.synthetic import SyntheticWorkload
-from repro.workloads.tracefile import TraceFileWorkload
+from repro.workloads.tenants import (
+    Tenant,
+    TenantScenario,
+    TenantWorkload,
+    TranslatedChunkSource,
+    intervm_scenario,
+    scenario_footprints,
+)
+from repro.workloads.tracefile import (
+    TRACE_FORMATS,
+    TraceFileWorkload,
+    calibration_report,
+    convert_trace,
+    detect_format,
+    load_trace,
+    open_ingest,
+    read_dramsim3_trace,
+    read_litex_rows,
+    read_trace,
+    trace_from_string,
+    trace_metadata,
+    write_trace,
+)
 
 
 @runtime_checkable
@@ -88,6 +110,17 @@ class IterableWorkloadSource:
         """The wrapped iterable, chunked for the core's fast path."""
         return chunk_entries(self._factory(core_id), self._chunk_size)
 
+    def trace_chunk_arrays(self, core_id: int, chunk_size: int = 256):
+        """The same chunks as :data:`~repro.cpu.trace.ENTRY_DTYPE`
+        structured arrays (vector-kernel view; generation unchanged),
+        so ad-hoc sources don't fall off the vector fast path."""
+        source = chunk_entries(self._factory(core_id), chunk_size)
+        while True:
+            chunk = source.next_chunk_array()
+            if chunk is None:
+                return
+            yield chunk
+
     def trace_factory(self) -> Callable[[int], ChunkSource]:
         """``core_id -> trace`` callable for ``MultiCoreSystem``."""
         return self.chunk_source
@@ -101,14 +134,32 @@ __all__ = [
     "MIX_WORKLOADS",
     "SPEC_WORKLOADS",
     "SyntheticWorkload",
+    "TRACE_FORMATS",
+    "Tenant",
+    "TenantScenario",
+    "TenantWorkload",
     "TraceFileWorkload",
+    "TranslatedChunkSource",
     "WorkloadSource",
     "WorkloadSpec",
     "benign_striped_trace",
+    "calibration_report",
+    "convert_trace",
+    "detect_format",
     "double_sided_attack_stream",
     "feinting_attack_stream",
+    "intervm_scenario",
+    "load_trace",
+    "open_ingest",
     "performance_attack_trace",
+    "read_dramsim3_trace",
+    "read_litex_rows",
+    "read_trace",
+    "scenario_footprints",
+    "trace_from_string",
+    "trace_metadata",
     "trr_evasion_pattern",
     "workload_by_name",
     "worst_case_single_bank_stream",
+    "write_trace",
 ]

@@ -144,6 +144,15 @@ class AttackWorkload:
         """
         return chunk_entries(self.trace(core_id))
 
+    def trace_chunk_arrays(self, core_id: int, chunk_size: int = 256):
+        """The same chunks as structured arrays (vector-kernel view)."""
+        source = chunk_entries(self.trace(core_id), chunk_size)
+        while True:
+            chunk = source.next_chunk_array()
+            if chunk is None:
+                return
+            yield chunk
+
     def trace_factory(self) -> Callable[[int], ChunkSource]:
         """``core_id -> trace`` callable for ``MultiCoreSystem``."""
         return self.chunk_source
