@@ -73,7 +73,7 @@ def attacks():
         "double-sided": lambda: double_sided_attack_stream(
             500, mapping, ACTS),
         "feinting": lambda: feinting_attack_stream(64, ACTS),
-        "evasion": lambda: trr_evasion_pattern(8, 900, ACTS),
+        "evasion": lambda: trr_evasion_pattern(8, 900, ACTS, seed=7),
     }
 
 

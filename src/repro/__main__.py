@@ -17,6 +17,12 @@ Usage::
     python -m repro stats mcf --setup prac-1000
     python -m repro trace --trace-limit 50000
 
+    python -m repro fuzz                   # seeded attack-pattern sweep
+    python -m repro fuzz --mitigations trr,mirza-1000 --budget 8
+                                           # smaller sweep; same seed =>
+                                           # bit-identical report, cells
+                                           # cache-hit on rerun
+
     python -m repro trace convert tc.dramsim3 tc.trace \\
         --workload tc --instructions 11    # ingest an external trace
     python -m repro run tc.trace --setup mirza --backend vector
@@ -55,7 +61,7 @@ from typing import Iterator, List, Optional
 from repro.report import exhibit_names, run_exhibit, write_report
 from repro.sim.session import FailurePolicy, SimSession
 
-_SUBCOMMANDS = ("list", "run", "report", "stats", "trace")
+_SUBCOMMANDS = ("list", "run", "report", "stats", "trace", "fuzz")
 
 _DEFAULT_SIM_WORKLOAD = "tc"
 _DEFAULT_SIM_SETUP = "mirza-1000"
@@ -221,6 +227,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--jsonl-out", default=None, metavar="FILE",
                          help="also write the raw events as JSON-lines")
     add_shared(p_trace)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="sweep seeded fuzzed attack patterns against "
+                     "mitigations and rank max per-row escapes")
+    p_fuzz.add_argument(
+        "--mitigations", default=None, metavar="A,B,...",
+        help="comma-separated fuzz mitigation names, e.g. "
+             "trr,prac-1000,mirza-1000 (the default)")
+    p_fuzz.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="fuzzed patterns per sweep; each also runs against every "
+             "mitigation (default: 16)")
+    p_fuzz.add_argument(
+        "--acts", type=int, default=None, metavar="N",
+        help="attacker ACTs per cell (default: a full refresh window "
+             "divided by the time scale, floored at 12000)")
+    p_fuzz.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="ranked escapes printed per mitigation (default: 5)")
+    add_shared(p_fuzz)
     return parser
 
 
@@ -472,6 +498,36 @@ def _trace_convert(argv: List[str]) -> int:
     return 0
 
 
+def _run_fuzz(args: argparse.Namespace, session: SimSession) -> int:
+    """The ``repro fuzz`` verb: a seeded attack-parameter sweep.
+
+    The report on stdout is a pure function of the spec (seed, budget,
+    acts, mitigations): rerunning with the same flags prints a
+    bit-identical ranking, with every cell served from the cache.
+    Batch statistics go to stderr so they never perturb that contract.
+    """
+    from repro.security.fuzz import FuzzSpec, default_acts, run_fuzz
+
+    time_scale = int(os.environ.get("REPRO_TIME_SCALE") or 512)
+    seed = int(os.environ.get("REPRO_SEED") or 0)
+    kwargs = dict(seed=seed,
+                  acts=(args.acts if args.acts is not None
+                        else default_acts(time_scale)))
+    if args.mitigations:
+        kwargs["mitigations"] = tuple(
+            name for name in args.mitigations.split(",") if name)
+    if args.budget is not None:
+        kwargs["budget"] = args.budget
+    spec = FuzzSpec(**kwargs)
+    report = run_fuzz(spec, session=session)
+    print(report.render(top=args.top))
+    batch = session.last_batch
+    if batch is not None:
+        print(f"fuzz: {batch.submitted} cells, {batch.unique} unique, "
+              f"{batch.cache_hits} from cache", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
 def _run_experiments(names: List[str], session: SimSession) -> int:
     """Plan the named experiment declarations as one deduplicated
     batch, then print each rendered table with its declared
@@ -560,6 +616,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                             getattr(args, "trace_out", None)):
                         write_report(args.path, only=only,
                                      session=session)
+                elif args.command == "fuzz":
+                    status = _run_fuzz(args, session)
                 elif args.command in ("stats", "trace") or (
                         args.command == "run" and args.setup):
                     status = _run_simulations(args, session)

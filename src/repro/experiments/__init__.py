@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401
     fig11,
     fig13,
     framework,
+    fuzz,
     intervm,
     table1,
     table2,
@@ -44,7 +45,7 @@ from repro.experiments import (  # noqa: F401
 )
 
 __all__ = [
-    "extras", "framework", "intervm", "tracecal",
+    "extras", "framework", "fuzz", "intervm", "tracecal",
     "fig1", "fig3", "fig6", "fig11", "fig13",
     "table1", "table2", "table4", "table5", "table6", "table7",
     "table8", "table9", "table10", "table11", "table12", "table13",

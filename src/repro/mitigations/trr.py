@@ -9,7 +9,7 @@ or claims a free/minimum slot.  One aggressor is mitigated per
 TRR is **insecure**: patterns with more decoy rows than table entries
 (Blacksmith/TRRespass-style) evict the true aggressor, which the
 security tests demonstrate by driving
-:func:`repro.security.attacks.trr_evasion_pattern` against it.
+:func:`repro.workloads.attacks.trr_evasion_pattern` against it.
 """
 
 from __future__ import annotations

@@ -8,8 +8,11 @@
   mitigation rate (Table II) with refresh-cannibalisation accounting.
 - :mod:`repro.security.area`        -- SRAM/DRAM cell-area model
   (Tables VII, X, XII).
-- :mod:`repro.security.attacks`     -- adversarial activation-stream
-  generators and the attack verification harness.
+- :mod:`repro.security.attacks`     -- the attack verification harness
+  (tracker vs ground-truth oracle at ACT granularity).
+- :mod:`repro.security.fuzz`        -- seeded attack-parameter fuzzer
+  sweeping :mod:`repro.workloads.patterns` shapes against each
+  mitigation through cacheable session jobs.
 """
 
 from repro.security.analysis import (
@@ -45,14 +48,38 @@ from repro.security.montecarlo import (
     escape_probability,
 )
 
+_FUZZ_EXPORTS = ("FuzzJob", "FuzzOutcome", "FuzzReport", "FuzzSpec",
+                 "escape_curve", "fuzz_tracker", "run_fuzz",
+                 "sample_pattern")
+
+
+def __getattr__(name):
+    # The fuzzer pulls in the whole session/runner stack, which imports
+    # repro.core -- whose config module imports repro.security.area.
+    # Loading repro.security.fuzz lazily breaks that cycle without
+    # hiding the fuzzer from the package API.
+    if name in _FUZZ_EXPORTS:
+        from repro.security import fuzz
+        return getattr(fuzz, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AreaModel",
+    "FuzzJob",
+    "FuzzOutcome",
+    "FuzzReport",
+    "FuzzSpec",
     "MINT_FAILURE_EXPONENT",
     "abo_extra_acts",
     "acts_per_ref_interval",
     "attack_success_probability",
     "empirical_bound_check",
+    "escape_curve",
     "escape_probability",
+    "fuzz_tracker",
+    "run_fuzz",
+    "sample_pattern",
     "lifetime_report",
     "mean_time_to_failure_years",
     "mint_tolerated_trhd",

@@ -101,6 +101,9 @@ Format 3: :class:`SimResult` grew the optional ``spans`` field
 Format 4: :class:`SimResult` grew optional ``tenants`` and
 ``unmitigated_by_bank`` fields; :class:`TenantJob` and
 :class:`TraceReplayJob` joined the cacheable job types.
+:class:`repro.security.fuzz.FuzzJob` later joined the cacheable job
+types under the same format -- a new job class mints new tokens, so
+no bump was needed.
 """
 
 _MISS = object()

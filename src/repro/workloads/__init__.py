@@ -28,6 +28,19 @@ from repro.workloads.attacks import (
     trr_evasion_pattern,
     worst_case_single_bank_stream,
 )
+from repro.workloads.patterns import (
+    AttackPattern,
+    CompileContext,
+    DecoyEvasion,
+    DoubleSided,
+    Feint,
+    HalfDouble,
+    NSided,
+    RefreshSyncBurst,
+    RowCycle,
+    Sequence,
+    paper_attack_set,
+)
 from repro.workloads.specs import (
     ALL_WORKLOADS,
     GAP_WORKLOADS,
@@ -128,11 +141,21 @@ class IterableWorkloadSource:
 
 __all__ = [
     "ALL_WORKLOADS",
+    "AttackPattern",
     "AttackWorkload",
+    "CompileContext",
+    "DecoyEvasion",
+    "DoubleSided",
+    "Feint",
     "GAP_WORKLOADS",
+    "HalfDouble",
     "IterableWorkloadSource",
     "MIX_WORKLOADS",
+    "NSided",
+    "RefreshSyncBurst",
+    "RowCycle",
     "SPEC_WORKLOADS",
+    "Sequence",
     "SyntheticWorkload",
     "TRACE_FORMATS",
     "Tenant",
@@ -151,6 +174,7 @@ __all__ = [
     "intervm_scenario",
     "load_trace",
     "open_ingest",
+    "paper_attack_set",
     "performance_attack_trace",
     "read_dramsim3_trace",
     "read_litex_rows",

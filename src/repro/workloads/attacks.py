@@ -19,6 +19,10 @@ Patterns:
 - :func:`performance_attack_trace` -- Figure 12's kernel: prime one RCT
   region past FTH with a circular pattern of K rows, then keep
   hammering so every MINT window produces a selection and an ALERT.
+
+The stream generators are thin wrappers over the declarative pattern
+specs in :mod:`repro.workloads.patterns` -- one attack vocabulary for
+the fixed paper set, the security tests, and the parameter fuzzer.
 """
 
 from __future__ import annotations
@@ -30,28 +34,38 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional
 from repro.cpu.trace import ChunkSource, TraceEntry, chunk_entries
 from repro.dram.mapping import RowToSubarrayMapping
 from repro.params import SystemConfig, ns
+from repro.workloads.patterns import (
+    CompileContext,
+    DecoyEvasion,
+    DoubleSided,
+    Feint,
+    RowCycle,
+)
 
 
 def double_sided_attack_stream(victim_row: int,
                                mapping: RowToSubarrayMapping,
-                               acts: int) -> Iterator[int]:
-    """Alternate activations of the victim's two physical neighbours."""
-    neighbors = mapping.physical_neighbors(victim_row, blast_radius=1)
-    if len(neighbors) < 2:
-        raise ValueError("victim row has fewer than two neighbours")
-    pair = neighbors[:2]
-    for i in range(acts):
-        yield pair[i % 2]
+                               acts: int,
+                               allow_single_sided: bool = True
+                               ) -> Iterator[int]:
+    """Alternate activations of the victim's two physical neighbours.
+
+    A victim at a subarray edge has only one physical neighbour; by
+    default the stream degrades to single-sided hammering of that
+    neighbour (fuzzers pick victims uniformly, so edge rows must not
+    crash the sweep).  Pass ``allow_single_sided=False`` to get the
+    strict behaviour -- a ``ValueError`` for edge victims.
+    """
+    pattern = DoubleSided(victim_row=victim_row, acts=acts,
+                          allow_single_sided=allow_single_sided)
+    return pattern.rows(CompileContext.make(mapping=mapping))
 
 
 def worst_case_single_bank_stream(rows: List[int], acts: int
                                   ) -> Iterator[int]:
     """Max-rate circular activations over ``rows`` in one bank."""
-    if not rows:
-        raise ValueError("need at least one row")
-    cycle = itertools.cycle(rows)
-    for _ in range(acts):
-        yield next(cycle)
+    pattern = RowCycle(row_list=tuple(rows), acts=acts)
+    return pattern.rows(CompileContext.make())
 
 
 def feinting_attack_stream(tracker_entries: int, acts: int,
@@ -60,31 +74,36 @@ def feinting_attack_stream(tracker_entries: int, acts: int,
     """Round-robin over ``entries + decoys`` rows to starve a counter
     tracker: every row's count rises in lock-step, so the mitigate-max
     policy lets each row climb as high as possible before being picked.
+
+    ``decoys`` defaults to ``max(1, entries // 8)`` and must be >= 1:
+    with ``decoys=0`` the rotation collapses to exactly the tracker's
+    capacity, nothing is evicted, and the "attack" no longer starves
+    the tracker -- that degenerate shape raises ``ValueError`` instead
+    of silently measuring a benign workload.
     """
-    count = tracker_entries + (decoys if decoys is not None
-                               else max(1, tracker_entries // 8))
-    rows = [base_row + i for i in range(count)]
-    cycle = itertools.cycle(rows)
-    for _ in range(acts):
-        yield next(cycle)
+    pattern = Feint(tracker_entries=tracker_entries, acts=acts,
+                    decoys=(decoys if decoys is not None
+                            else max(1, tracker_entries // 8)),
+                    base_row=base_row)
+    return pattern.rows(CompileContext.make())
 
 
 def trr_evasion_pattern(table_entries: int, target_row: int,
-                        acts: int, rng: Optional[random.Random] = None
-                        ) -> Iterator[int]:
+                        acts: int, seed: int) -> Iterator[int]:
     """Blacksmith-style pattern: keep the target's count low in the TRR
-    table by interleaving bursts to fresh decoy rows that evict it."""
-    rng = rng if rng is not None else random.Random(7)
-    decoy_base = target_row + 1000
-    emitted = 0
-    while emitted < acts:
-        yield target_row
-        emitted += 1
-        # A burst of one-hit decoys churns the table's low-count entries
-        # and keeps the target looking cold when it is re-inserted.
-        for i in range(min(table_entries + 4, acts - emitted)):
-            yield decoy_base + rng.randrange(10 * table_entries)
-            emitted += 1
+    table by interleaving bursts of one-hit decoys that churn the
+    table's low-count entries and keep the target looking cold when it
+    is re-inserted.
+
+    ``seed`` is required: the decoy sequence is part of the pattern's
+    identity, so two cells of a parameter sweep with different seeds
+    must hash -- and cache -- differently.  (The old signature hid a
+    ``random.Random(7)`` default that silently shared one decoy
+    sequence across every caller.)
+    """
+    pattern = DecoyEvasion(table_entries=table_entries,
+                           target_row=target_row, acts=acts, seed=seed)
+    return pattern.rows(CompileContext.make())
 
 
 def performance_attack_trace(config: SystemConfig,

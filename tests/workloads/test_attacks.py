@@ -29,10 +29,19 @@ class TestDoubleSided:
         rows = set(double_sided_attack_stream(victim, m, 4))
         assert rows == {victim - 128, victim + 128}
 
-    def test_edge_victim_rejected(self):
+    def test_edge_victim_degrades_to_single_sided(self):
+        # Row 0 has one physical neighbour; the stream hammers it
+        # single-sided instead of crashing (fuzzers pick victims
+        # uniformly, edges included).
+        m = SequentialR2SA()
+        rows = list(double_sided_attack_stream(0, m, 4))
+        assert rows == [1, 1, 1, 1]
+
+    def test_edge_victim_rejected_when_strict(self):
         m = SequentialR2SA()
         with pytest.raises(ValueError):
-            list(double_sided_attack_stream(0, m, 4))
+            list(double_sided_attack_stream(0, m, 4,
+                                            allow_single_sided=False))
 
 
 class TestWorstCase:
@@ -56,15 +65,31 @@ class TestFeinting:
         rows = set(feinting_attack_stream(4, 100, decoys=3))
         assert len(rows) == 7
 
+    def test_zero_decoys_rejected(self):
+        # decoys=0 collapses the rotation to exactly the tracker's
+        # capacity -- a benign workload, not a feint.
+        with pytest.raises(ValueError):
+            list(feinting_attack_stream(8, 100, decoys=0))
+
 
 class TestTrrEvasion:
     def test_target_interleaved_with_decoys(self):
-        rows = list(trr_evasion_pattern(4, target_row=50, acts=100))
+        rows = list(trr_evasion_pattern(4, target_row=50, acts=100,
+                                        seed=7))
         assert rows.count(50) >= 5
         assert len(set(rows)) > 8
 
     def test_exact_act_count(self):
-        assert len(list(trr_evasion_pattern(4, 50, 123))) == 123
+        assert len(list(trr_evasion_pattern(4, 50, 123, seed=7))) == 123
+
+    def test_seed_is_required_and_distinguishes_streams(self):
+        with pytest.raises(TypeError):
+            list(trr_evasion_pattern(4, 50, 100))
+        one = list(trr_evasion_pattern(4, 50, 200, seed=1))
+        two = list(trr_evasion_pattern(4, 50, 200, seed=2))
+        again = list(trr_evasion_pattern(4, 50, 200, seed=1))
+        assert one == again
+        assert one != two
 
 
 class TestPerformanceAttack:
